@@ -1,0 +1,60 @@
+// Shared flag plumbing for the figure-reproduction binaries.
+//
+// Every binary accepts:
+//   --lambdas=1,2,...   arrival-rate sweep (tasks/s system-wide)
+//   --reps=N            replications per cell (default 5)
+//   --duration=T        simulated seconds per run (default 600)
+//   --seed=S            base seed (default 42)
+//   --csv=PATH          also write the table as CSV
+//   --ci                print 95% confidence half-widths
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/sweep.hpp"
+
+namespace realtor::benchutil {
+
+inline std::vector<double> default_lambdas() {
+  return {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+}
+
+inline experiment::ScenarioConfig base_config(const Flags& flags) {
+  experiment::ScenarioConfig config;
+  config.topology.kind = experiment::TopologyKind::kMesh;
+  config.topology.width = static_cast<NodeId>(flags.get_int("width", 5));
+  config.topology.height = static_cast<NodeId>(flags.get_int("height", 5));
+  config.duration = flags.get_double("duration", 600.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.queue_capacity = flags.get_double("queue", 100.0);
+  config.mean_task_size = flags.get_double("task-size", 5.0);
+
+  proto::ProtocolConfig& p = config.protocol;
+  p.help_threshold = flags.get_double("help-threshold", p.help_threshold);
+  p.pledge_threshold = flags.get_double("pledge-threshold", p.pledge_threshold);
+  p.alpha = flags.get_double("alpha", p.alpha);
+  p.beta = flags.get_double("beta", p.beta);
+  p.help_upper_limit = flags.get_double("upper-limit", p.help_upper_limit);
+  p.help_timeout = flags.get_double("help-timeout", p.help_timeout);
+  p.push_interval = flags.get_double("push-interval", p.push_interval);
+  p.soft_state_ttl = flags.get_double("ttl", p.soft_state_ttl);
+  p.max_communities = static_cast<std::uint32_t>(
+      flags.get_int("max-communities", p.max_communities));
+  if (flags.get_string("reward", "migration") == "pledge") {
+    p.reward_policy = proto::HelpRewardPolicy::kOnFirstUsefulPledge;
+  }
+  config.migration.max_tries =
+      static_cast<std::uint32_t>(flags.get_int("tries", 1));
+  return config;
+}
+
+inline experiment::SweepOptions sweep_options(const Flags& flags) {
+  return experiment::paper_sweep_options(
+      flags.get_double_list("lambdas", default_lambdas()),
+      static_cast<std::uint32_t>(flags.get_int("reps", 5)));
+}
+
+}  // namespace realtor::benchutil

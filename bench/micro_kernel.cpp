@@ -1,0 +1,118 @@
+// Microbenchmarks of the substrate hot paths (google-benchmark): event
+// engine throughput, BFS path computation, pledge-list maintenance,
+// host queue churn, and a full protocol step through the simulation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "experiment/simulation.hpp"
+#include "net/shortest_paths.hpp"
+#include "node/host.hpp"
+#include "proto/pledge_list.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace realtor;
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < batch; ++i) {
+      engine.schedule_in(static_cast<SimTime>(i % 97), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EngineScheduleFire)->Arg(1024)->Arg(16384);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<EventId> ids;
+    ids.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      ids.push_back(engine.schedule_in(static_cast<SimTime>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      engine.cancel(ids[i]);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+void BM_ShortestPathsMesh(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const net::Topology mesh = net::make_mesh(side, side);
+  for (auto _ : state) {
+    net::ShortestPaths sp(mesh);
+    benchmark::DoNotOptimize(sp.average_path_length());
+  }
+}
+BENCHMARK(BM_ShortestPathsMesh)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_PledgeListChurn(benchmark::State& state) {
+  proto::PledgeList list(100.0, 0.1);
+  RngStream rng(7, "bench");
+  SimTime now = 0.0;
+  for (auto _ : state) {
+    now += 0.1;
+    const NodeId node = static_cast<NodeId>(rng.uniform_index(64));
+    list.update(node, rng.uniform01(), 1.0, now);
+    list.expire(now);
+    benchmark::DoNotOptimize(list.candidates(now, rng));
+  }
+}
+BENCHMARK(BM_PledgeListChurn);
+
+void BM_HostEnqueueComplete(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    node::Host host(engine, 0, 1e9);
+    for (int i = 0; i < 1024; ++i) {
+      node::Task task;
+      task.id = static_cast<TaskId>(i);
+      task.size_seconds = 1.0;
+      host.try_enqueue(task);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(host.completed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_HostEnqueueComplete);
+
+void BM_SimulationSecond(benchmark::State& state) {
+  // Cost of one simulated second of the full §5 experiment (REALTOR,
+  // lambda=8) including protocol traffic and migrations.
+  for (auto _ : state) {
+    experiment::ScenarioConfig config;
+    config.lambda = 8.0;
+    config.duration = static_cast<SimTime>(state.range(0));
+    config.seed = 42;
+    experiment::Simulation sim(config);
+    benchmark::DoNotOptimize(sim.run().generated);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationSecond)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_Xoshiro(benchmark::State& state) {
+  RngStream rng(1, "bench");
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.exponential(5.0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

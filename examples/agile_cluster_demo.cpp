@@ -1,0 +1,56 @@
+// Agile Objects cluster demo: the *threaded* runtime from §6 — one reactor
+// thread per host, REALTOR over multicast/datagram channels, a synchronous
+// admission RPC, migratable timer components and a naming service —
+// running time-compressed on this machine.
+//
+//   ./agile_cluster_demo [--hosts=20] [--lambda=5] [--duration=60]
+//                        [--loss=0.0] [--compression=0.005]
+#include <iostream>
+
+#include "agile/cluster.hpp"
+#include "common/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realtor;
+  const Flags flags(argc, argv);
+
+  agile::ClusterConfig config;
+  config.num_hosts = static_cast<NodeId>(flags.get_int("hosts", 20));
+  config.queue_capacity = flags.get_double("queue", 50.0);
+  config.lambda = flags.get_double("lambda", 5.0);
+  config.model_duration = flags.get_double("duration", 60.0);
+  config.time_compression = flags.get_double("compression", 0.005);
+  config.loss_probability = flags.get_double("loss", 0.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  std::cout << "Spinning up " << config.num_hosts
+            << " host reactors (queue " << config.queue_capacity
+            << "s, REALTOR, datagram loss " << config.loss_probability
+            << ")...\n"
+            << "Replaying " << config.model_duration
+            << " model-seconds of Poisson(" << config.lambda
+            << ") arrivals at " << 1.0 / config.time_compression
+            << "x real time.\n\n";
+
+  agile::Cluster cluster(config);
+  const agile::ClusterMetrics m = cluster.run();
+
+  std::cout << "arrivals processed      " << m.arrivals_processed << '\n'
+            << "admitted locally        " << m.admitted_local << '\n'
+            << "admitted via migration  " << m.admitted_migrated << '\n'
+            << "rejected                " << m.rejected << '\n'
+            << "admission probability   " << m.admission_probability() << '\n'
+            << "components completed    " << m.completions << '\n'
+            << "CUS/EDF deadline misses " << m.deadline_misses << '\n'
+            << "HELP multicasts         " << m.helps << '\n'
+            << "PLEDGE datagrams        " << m.pledges << '\n'
+            << "admission RPC calls     " << m.negotiations << '\n'
+            << "naming service updates  " << m.naming_updates << '\n'
+            << "datagrams sent/dropped  " << m.datagrams_sent << "/"
+            << m.datagrams_dropped << '\n';
+
+  std::cout << "\nTry --loss=0.2 to watch the soft-state protocol shrug off "
+               "a lossy network,\nor --lambda=9 to push the cluster into "
+               "overload.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Survivability walk-through: the scenario the paper's introduction
+// motivates. A distributed real-time application runs across a mesh; at
+// t=120 s an attacker takes down a third of the hosts with a one-second
+// warning. Watch REALTOR evacuate the resident components, lose the ones
+// it cannot place, and recover once the hosts come back.
+//
+//   ./attack_survivability [--victims=8] [--grace=1] [--outage=80]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "experiment/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realtor;
+  const Flags flags(argc, argv);
+
+  experiment::ScenarioConfig config;
+  config.protocol_kind = proto::ProtocolKind::kRealtor;
+  config.lambda = flags.get_double("lambda", 4.0);
+  config.duration = flags.get_double("duration", 360.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  experiment::AttackWave wave;
+  wave.time = 120.0;
+  wave.count = static_cast<std::size_t>(flags.get_int("victims", 8));
+  wave.grace = flags.get_double("grace", 1.0);
+  wave.outage = flags.get_double("outage", 80.0);
+  config.attacks = {wave};
+
+  std::cout << "Attack survivability demo: " << wave.count
+            << " of 25 hosts attacked at t=" << wave.time << "s, "
+            << wave.grace << "s warning, " << wave.outage << "s outage\n\n";
+
+  experiment::Simulation sim(config);
+  const auto& m = sim.run();
+
+  std::cout << "workload: " << m.generated << " tasks at lambda="
+            << config.lambda << " over " << config.duration << "s\n\n";
+
+  Table table({"event", "count"});
+  table.row().cell(std::string("components resident on victims"))
+      .cell(m.evacuation_candidates);
+  table.row().cell(std::string("evacuated to safe hosts")).cell(m.evacuated);
+  table.row().cell(std::string("lost to the attack")).cell(m.lost_to_attack);
+  table.row().cell(std::string("arrivals addressed to dead hosts"))
+      .cell(m.arrivals_at_dead_nodes);
+  table.row().cell(std::string("total migrations (incl. load-driven)"))
+      .cell(m.admitted_migrated + m.evacuated);
+  table.print(std::cout);
+
+  std::cout << "\nevacuation success rate : " << m.evacuation_success_rate()
+            << "\noverall admission prob. : " << m.admission_probability()
+            << "\n\nThe grace period models the paper's security enforcers "
+               "(§3) warning the node;\nset --grace=0 to see the no-warning "
+               "case where all resident work perishes.\n";
+  return 0;
+}

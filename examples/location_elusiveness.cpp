@@ -1,0 +1,75 @@
+// Location elusiveness demo (§3): components keep moving so an attacker
+// cannot track them. Every --period seconds each host relocates its newest
+// queued component through REALTOR; we report how often components move,
+// what the extra motion costs, and that admission is unharmed.
+//
+//   ./location_elusiveness [--period=10] [--lambda=6] [--duration=400]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "experiment/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realtor;
+  const Flags flags(argc, argv);
+
+  experiment::ScenarioConfig base;
+  base.protocol_kind = proto::ProtocolKind::kRealtor;
+  base.lambda = flags.get_double("lambda", 6.0);
+  base.duration = flags.get_double("duration", 400.0);
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  experiment::ScenarioConfig elusive = base;
+  elusive.elusiveness.enabled = true;
+  elusive.elusiveness.period = flags.get_double("period", 10.0);
+
+  std::cout << "Location elusiveness: relocate each host's newest component "
+               "every "
+            << elusive.elusiveness.period << "s (lambda=" << base.lambda
+            << ", " << base.duration << "s)\n\n";
+
+  experiment::Simulation baseline_sim(base);
+  const auto& mb = baseline_sim.run();
+  experiment::Simulation elusive_sim(elusive);
+  const auto& me = elusive_sim.run();
+
+  Table table({"metric", "baseline", "elusive"});
+  table.row()
+      .cell(std::string("admission probability"))
+      .cell(mb.admission_probability(), 4)
+      .cell(me.admission_probability(), 4);
+  table.row()
+      .cell(std::string("component moves (total)"))
+      .cell(mb.admitted_migrated)
+      .cell(me.admitted_migrated + me.elusive_moves);
+  table.row()
+      .cell(std::string("proactive relocations"))
+      .cell(std::uint64_t{0})
+      .cell(me.elusive_moves);
+  table.row()
+      .cell(std::string("relocations with no better hide-out"))
+      .cell(std::uint64_t{0})
+      .cell(me.elusive_stays);
+  table.row()
+      .cell(std::string("discovery+migration cost (units)"))
+      .cell(mb.ledger.total_cost(), 0)
+      .cell(me.ledger.total_cost(), 0);
+  table.row()
+      .cell(std::string("mean response time (s)"))
+      .cell(mb.response_time.mean(), 2)
+      .cell(me.response_time.mean(), 2);
+  table.print(std::cout);
+
+  const double moves_per_task =
+      me.admitted_total() > 0
+          ? static_cast<double>(me.elusive_moves) /
+                static_cast<double>(me.admitted_total())
+          : 0.0;
+  std::cout << "\nWith elusiveness on, a queued component changes host "
+            << moves_per_task
+            << " extra times per admitted task on average —\nmaking its "
+               "location a moving target at a bounded message cost, with "
+               "admission probability intact.\n";
+  return 0;
+}

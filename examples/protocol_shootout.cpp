@@ -1,0 +1,72 @@
+// Protocol shootout: compare all five discovery protocols on a custom
+// topology and load, on the *same* workload (common random numbers), and
+// print a compact scoreboard — a miniature of the paper's whole evaluation.
+//
+//   ./protocol_shootout [--lambda=8] [--topology=mesh|torus|ring|star|
+//                        complete|random] [--nodes=25] [--duration=400]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "experiment/simulation.hpp"
+#include "proto/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace realtor;
+  const Flags flags(argc, argv);
+
+  experiment::ScenarioConfig base;
+  base.lambda = flags.get_double("lambda", 8.0);
+  base.duration = flags.get_double("duration", 400.0);
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  const std::string topology = flags.get_string("topology", "mesh");
+  const auto nodes = static_cast<NodeId>(flags.get_int("nodes", 25));
+  if (topology == "torus") {
+    base.topology.kind = experiment::TopologyKind::kTorus;
+  } else if (topology == "ring") {
+    base.topology.kind = experiment::TopologyKind::kRing;
+  } else if (topology == "star") {
+    base.topology.kind = experiment::TopologyKind::kStar;
+  } else if (topology == "complete") {
+    base.topology.kind = experiment::TopologyKind::kComplete;
+  } else if (topology == "random") {
+    base.topology.kind = experiment::TopologyKind::kRandom;
+    base.topology.links = static_cast<std::size_t>(
+        flags.get_int("links", nodes * 2));
+  } else {
+    base.topology.kind = experiment::TopologyKind::kMesh;
+  }
+  base.topology.nodes = nodes;
+  if (base.topology.kind != experiment::TopologyKind::kMesh) {
+    // Non-mesh topologies have different path lengths: let the cost model
+    // compute the true average instead of pinning the paper's 4.
+    base.fixed_unicast_cost.reset();
+  }
+
+  std::cout << "Protocol shootout: topology=" << topology
+            << " lambda=" << base.lambda << " duration=" << base.duration
+            << "s (identical workload for every protocol)\n\n";
+
+  Table table({"protocol", "admission", "migration-rate", "overhead",
+               "per-task", "mean-occupancy"});
+  // The paper's five schemes plus the modern gossip baseline.
+  for (const auto kind : proto::kExtendedProtocolKinds) {
+    experiment::ScenarioConfig config = base;
+    config.protocol_kind = kind;
+    experiment::Simulation sim(config);
+    const auto& m = sim.run();
+    table.row()
+        .cell(std::string(proto::paper_label(kind)))
+        .cell(m.admission_probability(), 4)
+        .cell(m.migration_rate(), 4)
+        .cell(m.total_messages(), 0)
+        .cell(m.messages_per_admitted(), 2)
+        .cell(m.mean_occupancy, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the scoreboard: the paper's headline (Figs. 5-7) "
+               "is that REALTOR\nmatches the best admission probability at "
+               "a fraction of pure PUSH's overhead.\n";
+  return 0;
+}

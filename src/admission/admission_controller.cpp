@@ -1,0 +1,70 @@
+#include "admission/admission_controller.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::admission {
+
+AdmissionController::AdmissionController(const MigrationPolicy& policy,
+                                         const net::Topology& topology,
+                                         const net::CostModel& cost_model,
+                                         net::MessageLedger& ledger,
+                                         HostResolver host_of)
+    : policy_(policy),
+      topology_(topology),
+      cost_model_(cost_model),
+      ledger_(ledger),
+      host_of_(std::move(host_of)) {
+  REALTOR_ASSERT(policy_.max_tries >= 1);
+  REALTOR_ASSERT(static_cast<bool>(host_of_));
+}
+
+MigrationOutcome AdmissionController::try_migrate(
+    const node::Task& task, NodeId origin,
+    proto::DiscoveryProtocol& protocol) {
+  MigrationOutcome outcome;
+  proto::CandidateQuery query;
+  query.min_security = task.min_security;
+  const std::vector<NodeId> candidates = protocol.migration_candidates(query);
+  if (candidates.empty()) {
+    ++no_candidate_;
+    return outcome;
+  }
+
+  for (const NodeId target : candidates) {
+    if (outcome.attempts >= policy_.max_tries) break;
+    if (target == origin) continue;
+    ++outcome.attempts;
+    ++attempts_;
+
+    // Negotiation round-trip between the two admission controls. Charged
+    // even when the target is dead or refuses — failed speculation is
+    // exactly the cost the one-try policy is trading against.
+    ledger_.record(net::MessageKind::kNegotiation,
+                   policy_.negotiation_messages *
+                       cost_model_.unicast_cost(origin, target));
+
+    node::Host* host = host_of_(target);
+    const bool target_up = topology_.alive(target) && host != nullptr;
+    node::Task moved = task;
+    ++moved.migrations;
+    const double fraction =
+        host != nullptr ? task.size_seconds / host->capacity_seconds() : 0.0;
+    if (target_up && host->try_enqueue(moved)) {
+      ledger_.record(net::MessageKind::kMigration,
+                     policy_.migration_messages *
+                         cost_model_.unicast_cost(origin, target));
+      protocol.on_migration_result(target, fraction, true);
+      ++migrations_;
+      outcome.admitted = true;
+      outcome.target = target;
+      return outcome;
+    }
+    protocol.on_migration_result(target, fraction, false);
+    ++aborted_;
+  }
+  return outcome;
+}
+
+}  // namespace realtor::admission

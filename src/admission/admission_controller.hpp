@@ -1,0 +1,75 @@
+// Admission control + migration negotiation.
+//
+// §3: REALTOR keeps the host list so "the admission control can be very
+// light-weight"; when the chosen destination turns out to be overloaded
+// "migration is aborted and the next node in REALTOR's list is tried."
+// §5 restricts the experiments to "only a one-time migration try to the
+// best candidate destination node" — max_tries = 1 reproduces that; larger
+// budgets exercise the §3 retry behaviour (ablation Tab E).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "net/cost_model.hpp"
+#include "net/message_ledger.hpp"
+#include "net/topology.hpp"
+#include "node/host.hpp"
+#include "proto/discovery_protocol.hpp"
+
+namespace realtor::admission {
+
+struct MigrationPolicy {
+  /// Candidate destinations tried before rejecting (paper experiments: 1).
+  std::uint32_t max_tries = 1;
+  /// Unicast messages per negotiation round-trip between the two admission
+  /// controls (request + accept/refuse).
+  double negotiation_messages = 2.0;
+  /// Unicast messages to move the component itself.
+  double migration_messages = 1.0;
+};
+
+struct MigrationOutcome {
+  bool admitted = false;
+  NodeId target = kInvalidNode;
+  std::uint32_t attempts = 0;
+};
+
+class AdmissionController {
+ public:
+  /// `host_of` resolves a node id to its host; returns nullptr for nodes
+  /// outside the harness (never happens in the experiments).
+  using HostResolver = std::function<node::Host*(NodeId)>;
+
+  AdmissionController(const MigrationPolicy& policy,
+                      const net::Topology& topology,
+                      const net::CostModel& cost_model,
+                      net::MessageLedger& ledger, HostResolver host_of);
+
+  /// Attempts to place `task` (which did not fit at `origin`) on one of
+  /// `protocol`'s candidates. Negotiation and transfer messages are
+  /// charged to the ledger; the protocol gets per-attempt feedback.
+  MigrationOutcome try_migrate(const node::Task& task, NodeId origin,
+                               proto::DiscoveryProtocol& protocol);
+
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t aborted() const { return aborted_; }
+  std::uint64_t migrations() const { return migrations_; }
+  /// Rejections because the protocol offered no candidate at all.
+  std::uint64_t no_candidate() const { return no_candidate_; }
+
+ private:
+  MigrationPolicy policy_;
+  const net::Topology& topology_;
+  const net::CostModel& cost_model_;
+  net::MessageLedger& ledger_;
+  HostResolver host_of_;
+
+  std::uint64_t attempts_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t no_candidate_ = 0;
+};
+
+}  // namespace realtor::admission

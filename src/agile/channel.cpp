@@ -1,0 +1,141 @@
+#include "agile/channel.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::agile {
+
+bool Inbox::push(Datagram datagram) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(datagram));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Datagram> Inbox::pop_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    // Messages carry a propagation-delay due time; with a uniform delay
+    // the FIFO head is always the earliest-due message.
+    if (!queue_.empty() && queue_.front().due <= now) {
+      Datagram out = std::move(queue_.front());
+      queue_.pop_front();
+      return out;
+    }
+    if (closed_ && queue_.empty()) return std::nullopt;
+    if (now >= deadline) return std::nullopt;
+    auto wake = deadline;
+    if (!queue_.empty() && queue_.front().due < wake) {
+      wake = queue_.front().due;
+    }
+    cv_.wait_until(lock, wake);
+  }
+}
+
+std::optional<Datagram> Inbox::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  if (queue_.front().due > std::chrono::steady_clock::now()) {
+    return std::nullopt;  // in flight
+  }
+  Datagram out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+void Inbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Inbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void Inbox::reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = false;
+  queue_.clear();  // messages addressed to the dead incarnation are gone
+}
+
+std::size_t Inbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+DatagramNetwork::DatagramNetwork(
+    NodeId num_hosts, double loss_probability, std::uint64_t seed,
+    std::chrono::steady_clock::duration delivery_delay)
+    : rng_(seed, "datagram-loss"),
+      loss_probability_(loss_probability),
+      delivery_delay_(delivery_delay) {
+  REALTOR_ASSERT(num_hosts > 0);
+  REALTOR_ASSERT(loss_probability_ >= 0.0 && loss_probability_ < 1.0);
+  inboxes_.reserve(num_hosts);
+  for (NodeId i = 0; i < num_hosts; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+bool DatagramNetwork::should_drop() {
+  if (loss_probability_ <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  return rng_.bernoulli(loss_probability_);
+}
+
+void DatagramNetwork::send(NodeId from, NodeId to, Payload payload) {
+  REALTOR_ASSERT(to < inboxes_.size());
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (should_drop()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto due = std::chrono::steady_clock::now() + delivery_delay_;
+  if (inboxes_[to]->push(Datagram{from, to, std::move(payload), due})) {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DatagramNetwork::multicast(NodeId from, Payload payload) {
+  for (NodeId to = 0; to < inboxes_.size(); ++to) {
+    if (to == from) continue;
+    send(from, to, payload);
+  }
+}
+
+void DatagramNetwork::deliver_reliable(NodeId from, NodeId to,
+                                       Payload payload) {
+  REALTOR_ASSERT(to < inboxes_.size());
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  const auto due = std::chrono::steady_clock::now() + delivery_delay_;
+  if (inboxes_[to]->push(Datagram{from, to, std::move(payload), due})) {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Inbox& DatagramNetwork::inbox(NodeId host) {
+  REALTOR_ASSERT(host < inboxes_.size());
+  return *inboxes_[host];
+}
+
+void DatagramNetwork::close_all() {
+  for (auto& inbox : inboxes_) {
+    inbox->close();
+  }
+}
+
+}  // namespace realtor::agile

@@ -1,0 +1,147 @@
+// In-process message channels standing in for the paper's transports:
+// "REALTOR uses IP multicasting for HELP messages and UDP for PLEDGE
+// messages" (§6). Datagram sends are fire-and-forget with configurable
+// loss; task transfers ride the reliable path (the paper uses TCP for the
+// admission negotiation and the migration subsystem for state transfer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/message.hpp"
+
+namespace realtor::agile {
+
+/// Workload injection: a task (timer component, §6) arriving at a host.
+struct TaskArrival {
+  TaskId id = 0;
+  double size_seconds = 0.0;
+  SimTime injected_at = 0.0;
+};
+
+/// A migrating component's state, already admitted at the destination via
+/// the admission RPC: "the only state of the task is the current value of
+/// un-expired time" (§6).
+struct TaskTransfer {
+  TaskId id = 0;
+  double size_seconds = 0.0;
+  /// Completion instant reserved by the destination's admission RPC.
+  SimTime completion_time = 0.0;
+  /// EDF deadline assigned by the destination's Constant Utilization
+  /// Server at reservation time.
+  SimTime deadline = 0.0;
+  /// Model instant the origin decided to migrate (latency measurement).
+  SimTime decision_time = 0.0;
+};
+
+/// Speculative migration (§3): the component state travels *with* the
+/// admission request instead of after it — "the migration of the component
+/// can happen concurrently to the negotiation ... thus enabling very
+/// low-latency migration". The destination books or refuses on receipt.
+struct SpeculativeTransfer {
+  TaskId id = 0;
+  double size_seconds = 0.0;
+  SimTime decision_time = 0.0;
+};
+
+/// Destination's verdict on a speculative transfer.
+struct SpeculativeResult {
+  TaskId id = 0;
+  bool accepted = false;
+};
+
+using Payload = std::variant<proto::Message, TaskArrival, TaskTransfer,
+                             SpeculativeTransfer, SpeculativeResult>;
+
+struct Datagram {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Payload payload;
+  /// Earliest wall instant the message may be handed to the receiver
+  /// (propagation-delay model; default: immediately deliverable).
+  std::chrono::steady_clock::time_point due{};
+};
+
+/// MPSC mailbox with timed blocking pop; close() releases all waiters.
+class Inbox {
+ public:
+  /// Returns false when the inbox is closed (message discarded).
+  bool push(Datagram datagram);
+
+  /// Pops the next datagram, blocking until `deadline`. Returns nullopt on
+  /// timeout or when closed with an empty queue.
+  std::optional<Datagram> pop_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  std::optional<Datagram> try_pop();
+
+  void close();
+  bool closed() const;
+
+  /// Reopens a closed inbox with an empty queue (host restart after an
+  /// attack outage).
+  void reopen();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Datagram> queue_;
+  bool closed_ = false;
+};
+
+/// The shared medium: one inbox per host, lossy datagram semantics, a
+/// lossless path for negotiated transfers, and a broadcast group.
+class DatagramNetwork {
+ public:
+  /// `delivery_delay`: one-way propagation delay applied to every message
+  /// (wall-clock units; the cluster converts its model delay through the
+  /// time-compression factor).
+  DatagramNetwork(NodeId num_hosts, double loss_probability,
+                  std::uint64_t seed,
+                  std::chrono::steady_clock::duration delivery_delay =
+                      std::chrono::steady_clock::duration::zero());
+
+  /// UDP-like: may silently drop the message.
+  void send(NodeId from, NodeId to, Payload payload);
+
+  /// IP-multicast-like: delivered to every host except the sender, each
+  /// copy subject to independent loss.
+  void multicast(NodeId from, Payload payload);
+
+  /// Lossless in-order delivery (negotiated transfers, workload driver).
+  void deliver_reliable(NodeId from, NodeId to, Payload payload);
+
+  Inbox& inbox(NodeId host);
+
+  void close_all();
+
+  std::uint64_t sent() const { return sent_.load(); }
+  std::uint64_t delivered() const { return delivered_.load(); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+
+ private:
+  bool should_drop();
+
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::mutex rng_mutex_;
+  RngStream rng_;
+  double loss_probability_;
+  std::chrono::steady_clock::duration delivery_delay_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace realtor::agile

@@ -1,0 +1,45 @@
+#include "agile/clock.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::agile {
+namespace {
+
+std::chrono::steady_clock::duration::rep ticks_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+Clock::Clock(double compression)
+    : compression_(compression), epoch_ticks_(ticks_now()) {
+  REALTOR_ASSERT(compression_ > 0.0);
+}
+
+SimTime Clock::now() const {
+  const Rep elapsed = ticks_now() - epoch_ticks_.load(std::memory_order_relaxed);
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::duration(elapsed))
+          .count();
+  return wall_seconds / compression_;
+}
+
+void Clock::reset_epoch() {
+  epoch_ticks_.store(ticks_now(), std::memory_order_relaxed);
+}
+
+std::chrono::steady_clock::duration Clock::to_wall(
+    SimTime model_seconds) const {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(model_seconds * compression_));
+}
+
+std::chrono::steady_clock::time_point Clock::wall_at(SimTime model_time) const {
+  return std::chrono::steady_clock::time_point(
+             std::chrono::steady_clock::duration(
+                 epoch_ticks_.load(std::memory_order_relaxed))) +
+         to_wall(model_time);
+}
+
+}  // namespace realtor::agile

@@ -1,0 +1,168 @@
+#include "agile/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "sim/arrivals.hpp"
+
+namespace realtor::agile {
+
+double ClusterMetrics::admission_probability() const {
+  if (arrivals_processed == 0) return 0.0;
+  return static_cast<double>(admitted_total()) /
+         static_cast<double>(arrivals_processed);
+}
+
+double ClusterMetrics::migration_rate() const {
+  if (admitted_total() == 0) return 0.0;
+  return static_cast<double>(admitted_migrated) /
+         static_cast<double>(admitted_total());
+}
+
+double ClusterMetrics::mean_migration_latency() const {
+  if (migration_latency_samples == 0) return 0.0;
+  return static_cast<double>(migration_latency_us) * 1e-6 /
+         static_cast<double>(migration_latency_samples);
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      clock_(config.time_compression),
+      network_(config.num_hosts, config.loss_probability, config.seed,
+               clock_.to_wall(config.network_delay)) {
+  REALTOR_ASSERT(config_.num_hosts > 0);
+  hosts_.reserve(config_.num_hosts);
+  const auto resolver = [this](NodeId id) -> HostRuntime* {
+    return id < hosts_.size() ? hosts_[id].get() : nullptr;
+  };
+  for (NodeId id = 0; id < config_.num_hosts; ++id) {
+    HostConfig host_config;
+    host_config.id = id;
+    host_config.num_hosts = config_.num_hosts;
+    host_config.queue_capacity = config_.queue_capacity;
+    host_config.protocol = config_.protocol;
+    host_config.discovery = config_.discovery;
+    host_config.max_tries = config_.max_tries;
+    host_config.network_delay = config_.network_delay;
+    host_config.speculative_migration = config_.speculative_migration;
+    hosts_.push_back(std::make_unique<HostRuntime>(
+        host_config, clock_, network_, naming_, resolver));
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& host : hosts_) {
+    host->stop();
+  }
+}
+
+ClusterMetrics Cluster::run() {
+  REALTOR_ASSERT_MSG(!ran_, "Cluster::run() is one-shot");
+  ran_ = true;
+
+  // Pre-generate the workload so the driver only sleeps and injects. A
+  // generous count is truncated at model_duration.
+  const std::size_t estimate = static_cast<std::size_t>(
+      config_.lambda * config_.model_duration * 1.5 + 64.0);
+  auto trace = sim::generate_poisson_trace(
+      config_.seed, config_.lambda, config_.mean_task_size,
+      config_.num_hosts, estimate);
+  while (!trace.empty() && trace.back().time > config_.model_duration) {
+    trace.pop_back();
+  }
+
+  // Attack timeline: (time, victim, is_kill), executed by the driver
+  // between arrival injections.
+  struct LifecycleEvent {
+    SimTime time;
+    NodeId victim;
+    bool kill;
+  };
+  std::vector<LifecycleEvent> events;
+  for (const ClusterConfig::Attack& attack : config_.attacks) {
+    REALTOR_ASSERT(attack.victim < config_.num_hosts);
+    events.push_back({attack.time, attack.victim, true});
+    if (attack.outage > 0.0) {
+      events.push_back({attack.time + attack.outage, attack.victim, false});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const LifecycleEvent& a, const LifecycleEvent& b) {
+              return a.time < b.time;
+            });
+  std::size_t next_event = 0;
+  std::uint64_t killed = 0;
+  std::uint64_t restored = 0;
+  const auto apply_events_until = [&](SimTime t) {
+    while (next_event < events.size() && events[next_event].time <= t) {
+      const LifecycleEvent& event = events[next_event++];
+      std::this_thread::sleep_until(clock_.wall_at(event.time));
+      if (event.kill) {
+        hosts_[event.victim]->stop();
+        ++killed;
+      } else {
+        hosts_[event.victim]->restart();
+        ++restored;
+      }
+    }
+  };
+
+  for (auto& host : hosts_) {
+    host->start();
+  }
+  // Reactors are up; re-base model time so thread spawn latency does not
+  // consume the experiment timeline.
+  clock_.reset_epoch();
+
+  for (const sim::Arrival& arrival : trace) {
+    apply_events_until(arrival.time);
+    std::this_thread::sleep_until(clock_.wall_at(arrival.time));
+    TaskArrival task;
+    task.id = arrival.id;
+    task.size_seconds = arrival.size_seconds;
+    task.injected_at = arrival.time;
+    network_.deliver_reliable(arrival.node, arrival.node, Payload{task});
+  }
+  apply_events_until(config_.model_duration + config_.drain);
+
+  std::this_thread::sleep_until(
+      clock_.wall_at(config_.model_duration + config_.drain));
+
+  ClusterMetrics metrics = aggregate(trace.size());
+  metrics.hosts_killed = killed;
+  metrics.hosts_restored = restored;
+
+  for (auto& host : hosts_) {
+    host->stop();
+  }
+  return metrics;
+}
+
+ClusterMetrics Cluster::aggregate(std::uint64_t generated) const {
+  ClusterMetrics m;
+  m.generated = generated;
+  for (const auto& host : hosts_) {
+    const HostStats& s = host->stats();
+    m.arrivals_processed += s.arrivals.load();
+    m.admitted_local += s.admitted_local.load();
+    m.admitted_migrated += s.admitted_migrated.load();
+    m.rejected += s.rejected.load();
+    m.transfers += s.transfers_in.load();
+    m.completions += s.completions.load();
+    m.deadline_misses += s.deadline_misses.load();
+    m.helps += s.helps_sent.load();
+    m.pledges += s.pledges_sent.load();
+    m.negotiations += s.negotiation_calls.load();
+    m.speculative_accepted += s.speculative_accepted.load();
+    m.speculative_rejected += s.speculative_rejected.load();
+    m.migration_latency_us += s.migration_latency_us.load();
+    m.migration_latency_samples += s.migration_latency_samples.load();
+  }
+  m.naming_updates = naming_.updates();
+  m.datagrams_sent = network_.sent();
+  m.datagrams_dropped = network_.dropped();
+  return m;
+}
+
+}  // namespace realtor::agile

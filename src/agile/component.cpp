@@ -1,0 +1,25 @@
+#include "agile/component.hpp"
+
+#include <cstring>
+
+namespace realtor::agile {
+
+std::array<std::byte, MigratableComponent::kPackedSize>
+MigratableComponent::pack() const {
+  std::array<std::byte, kPackedSize> out{};
+  std::memcpy(out.data(), &id_, sizeof(id_));
+  std::memcpy(out.data() + sizeof(id_), &remaining_, sizeof(remaining_));
+  return out;
+}
+
+std::optional<MigratableComponent> MigratableComponent::unpack(
+    const std::array<std::byte, kPackedSize>& bytes) {
+  TaskId id = 0;
+  double remaining = 0.0;
+  std::memcpy(&id, bytes.data(), sizeof(id));
+  std::memcpy(&remaining, bytes.data() + sizeof(id), sizeof(remaining));
+  if (!(remaining >= 0.0)) return std::nullopt;  // also rejects NaN
+  return MigratableComponent(id, remaining);
+}
+
+}  // namespace realtor::agile

@@ -1,0 +1,40 @@
+// Migratable component: the §6 experiment "implement[s] each task as a
+// timer waiting to expire", so the transferable state is exactly the
+// un-expired time. pack()/unpack() model the state serialization the
+// migration subsystem performs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace realtor::agile {
+
+class MigratableComponent {
+ public:
+  MigratableComponent() = default;
+  MigratableComponent(TaskId id, double remaining_seconds)
+      : id_(id), remaining_(remaining_seconds) {}
+
+  TaskId id() const { return id_; }
+  double remaining_seconds() const { return remaining_; }
+
+  /// Serialized wire image (fixed-size: id + remaining time).
+  static constexpr std::size_t kPackedSize =
+      sizeof(TaskId) + sizeof(double);
+  std::array<std::byte, kPackedSize> pack() const;
+
+  /// Rebuilds a component from its wire image; nullopt on a corrupt image
+  /// (negative remaining time).
+  static std::optional<MigratableComponent> unpack(
+      const std::array<std::byte, kPackedSize>& bytes);
+
+ private:
+  TaskId id_ = 0;
+  double remaining_ = 0.0;
+};
+
+}  // namespace realtor::agile

@@ -1,0 +1,185 @@
+// One Agile Objects host: a reactor thread running the REALTOR protocol
+// over the in-process channels, a bounded work queue measured in seconds,
+// a Constant Utilization Server assigning EDF deadlines, and a thread-safe
+// admission RPC (the paper's TCP negotiation between Admission Controls).
+//
+// Threading model (guides CP.2/CP.3): all protocol soft state is confined
+// to the reactor thread; the only shared mutable state is the admission
+// account (mutex), the per-host statistics (atomics), and the channels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "agile/channel.hpp"
+#include "agile/clock.hpp"
+#include "agile/naming.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/algorithm_h.hpp"
+#include "proto/algorithm_p.hpp"
+#include "proto/availability_table.hpp"
+#include "proto/community.hpp"
+#include "proto/config.hpp"
+#include "proto/factory.hpp"
+#include "proto/pledge_list.hpp"
+#include "sched/cus.hpp"
+
+namespace realtor::agile {
+
+struct HostConfig {
+  NodeId id = 0;
+  /// Total hosts in the cluster (push-based modes advertise to everyone).
+  NodeId num_hosts = 1;
+  /// Fig. 9 uses queue_size = 50 (half the simulation's 100).
+  double queue_capacity = 50.0;
+  proto::ProtocolConfig protocol;
+  /// Which discovery scheme this runtime speaks. The paper's measurement
+  /// runs REALTOR; the other four make Fig. 9 a measured comparison.
+  proto::ProtocolKind discovery = proto::ProtocolKind::kRealtor;
+  /// Candidates tried per migration (paper: one-time try).
+  std::uint32_t max_tries = 1;
+  /// One-way propagation delay in model seconds; charged on the two RPC
+  /// legs of a sequential migration (the datagram network delays the
+  /// transfer itself).
+  SimTime network_delay = 0.0;
+  /// §3 speculative migration: ship the component state together with the
+  /// admission request instead of after the negotiation.
+  bool speculative_migration = false;
+};
+
+/// Concurrency-safe counters; snapshot with relaxed loads after the run.
+struct HostStats {
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<std::uint64_t> admitted_local{0};
+  std::atomic<std::uint64_t> admitted_migrated{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> transfers_in{0};
+  std::atomic<std::uint64_t> completions{0};
+  std::atomic<std::uint64_t> deadline_misses{0};
+  std::atomic<std::uint64_t> helps_sent{0};
+  std::atomic<std::uint64_t> pledges_sent{0};
+  std::atomic<std::uint64_t> negotiation_calls{0};
+  std::atomic<std::uint64_t> speculative_accepted{0};
+  std::atomic<std::uint64_t> speculative_rejected{0};
+  /// Decision-to-registered migration latency, accumulated at the
+  /// *destination* in model microseconds (mean = sum / count).
+  std::atomic<std::uint64_t> migration_latency_us{0};
+  std::atomic<std::uint64_t> migration_latency_samples{0};
+};
+
+class HostRuntime {
+ public:
+  /// Resolves a peer id to its runtime for the admission RPC; returns
+  /// nullptr for unknown/down peers.
+  using PeerResolver = std::function<HostRuntime*(NodeId)>;
+
+  /// Granted reservation from the admission RPC: the work is booked, the
+  /// CUS deadline assigned; the component state must follow via
+  /// TaskTransfer.
+  struct Reservation {
+    SimTime completion_time = 0.0;
+    SimTime deadline = 0.0;
+  };
+
+  HostRuntime(const HostConfig& config, const Clock& clock,
+              DatagramNetwork& network, NamingService& naming,
+              PeerResolver peers);
+  ~HostRuntime();
+  HostRuntime(const HostRuntime&) = delete;
+  HostRuntime& operator=(const HostRuntime&) = delete;
+
+  void start();
+  void stop();
+
+  /// Restarts a stopped host with cold protocol state (recovery after an
+  /// attack outage): empty pledge list, no memberships, reset Algorithm H,
+  /// empty queue. Resident components of the previous incarnation are
+  /// lost, exactly like a killed machine.
+  void restart();
+
+  NodeId id() const { return config_.id; }
+
+  /// Thread-safe admission RPC (callable from any host's reactor): books
+  /// `size_seconds` of work if it fits the queue, assigns the CUS/EDF
+  /// deadline, and returns the reservation.
+  std::optional<Reservation> request_admission(double size_seconds);
+
+  /// Current queue occupancy in [0, 1]; thread-safe.
+  double occupancy() const;
+
+  const HostStats& stats() const { return stats_; }
+
+ private:
+  struct PendingCompletion {
+    SimTime time = 0.0;
+    TaskId task = 0;
+    SimTime deadline = 0.0;
+    bool operator>(const PendingCompletion& other) const {
+      return time > other.time;
+    }
+  };
+
+  enum class MigrateStatus { kMigrated, kRejected, kInFlight };
+
+  void reactor();
+  void handle(const Datagram& datagram);
+  void handle_arrival(const TaskArrival& arrival);
+  void handle_transfer(const TaskTransfer& transfer);
+  void handle_speculative(NodeId from, const SpeculativeTransfer& transfer);
+  void handle_speculative_result(const SpeculativeResult& result);
+  void handle_help(NodeId from, const proto::HelpMsg& help);
+  void handle_pledge(const proto::PledgeMsg& pledge);
+  void handle_advert(const proto::PushAdvertMsg& advert);
+  MigrateStatus try_migrate(const TaskArrival& arrival);
+  void note_feedback(NodeId target, double fraction, bool success);
+  void record_migration_latency(SimTime decision_time);
+  void send_advert();
+  std::vector<NodeId> candidates(SimTime now);
+  bool pull_based() const;
+  void maybe_send_help(SimTime now, double occupancy_with_task);
+  void send_pledge_to(NodeId organizer, double occ);
+  void note_status_change();
+  void process_due(SimTime now);
+
+  HostConfig config_;
+  const Clock& clock_;
+  DatagramNetwork& network_;
+  NamingService& naming_;
+  PeerResolver peers_;
+
+  // Shared admission state (RPC from peer reactors + local admits).
+  mutable std::mutex admit_mutex_;
+  SimTime finish_time_ = 0.0;  // instant all booked work completes
+  sched::ConstantUtilizationServer cus_{1.0};
+
+  // Reactor-confined protocol state.
+  proto::AlgorithmH algo_h_;
+  proto::AlgorithmP algo_p_;
+  proto::PledgeList pledge_list_;
+  proto::CommunityMembership membership_;
+  proto::AvailabilityTable advert_table_;  // push-based modes
+  RngStream tie_rng_;
+  SimTime help_deadline_ = kNeverTime;
+  SimTime next_advert_ = kNeverTime;  // pure PUSH period
+  /// Outstanding speculative migrations: component -> (target, capacity
+  /// fraction), resolved by SpeculativeResult.
+  std::unordered_map<TaskId, std::pair<NodeId, double>> speculations_;
+  std::priority_queue<PendingCompletion, std::vector<PendingCompletion>,
+                      std::greater<PendingCompletion>>
+      completions_;
+
+  HostStats stats_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace realtor::agile

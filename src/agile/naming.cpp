@@ -1,0 +1,40 @@
+#include "agile/naming.hpp"
+
+namespace realtor::agile {
+
+void NamingService::register_component(TaskId component, NodeId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  locations_[component] = host;
+}
+
+void NamingService::update_location(TaskId component, NodeId host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = locations_.find(component);
+  if (it == locations_.end()) return;
+  it->second = host;
+  ++updates_;
+}
+
+void NamingService::unregister(TaskId component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  locations_.erase(component);
+}
+
+std::optional<NodeId> NamingService::lookup(TaskId component) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = locations_.find(component);
+  if (it == locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t NamingService::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return locations_.size();
+}
+
+std::uint64_t NamingService::updates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return updates_;
+}
+
+}  // namespace realtor::agile

@@ -1,0 +1,39 @@
+// The Agile Object Naming Service (§3, Fig. 1): tracks where each
+// migratable component currently lives. "The naming service is updated to
+// reflect the new location of the component." Thread-safe: every host
+// runtime and the migration path update it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace realtor::agile {
+
+class NamingService {
+ public:
+  /// Registers a newly instantiated component at `host`.
+  void register_component(TaskId component, NodeId host);
+
+  /// Re-binds a component after migration; no-op warning-free if the
+  /// component already unregistered (it may have completed mid-flight).
+  void update_location(TaskId component, NodeId host);
+
+  /// Removes a completed (expired) component.
+  void unregister(TaskId component);
+
+  std::optional<NodeId> lookup(TaskId component) const;
+
+  std::size_t size() const;
+  std::uint64_t updates() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<TaskId, NodeId> locations_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace realtor::agile

@@ -1,0 +1,15 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace realtor::detail {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const char* msg) {
+  std::fprintf(stderr, "REALTOR_ASSERT failed: %s at %s:%d %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace realtor::detail

@@ -1,0 +1,25 @@
+// Always-on invariant checks. Simulation correctness depends on internal
+// invariants (event ordering, queue accounting); violating them must abort
+// loudly even in release builds rather than silently corrupt an experiment.
+#pragma once
+
+namespace realtor::detail {
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const char* msg);
+
+}  // namespace realtor::detail
+
+#define REALTOR_ASSERT(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::realtor::detail::assertion_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                         \
+  } while (false)
+
+#define REALTOR_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::realtor::detail::assertion_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,76 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace realtor {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name,
+                                           std::vector<double> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  std::istringstream stream(it->second);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') return fallback;
+    out.push_back(value);
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace realtor

@@ -1,0 +1,40 @@
+// A tiny command-line flag parser for benches and examples.
+//
+// Accepts --name=value and --name value forms plus bare --switch booleans.
+// Google-benchmark binaries pass through any flags they own; we only parse
+// the ones registered here and leave argv untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace realtor {
+
+class Flags {
+ public:
+  /// Parses argv (skipping argv[0]). Unknown flags are collected but not an
+  /// error, so binaries can share argv with google-benchmark.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --lambdas=1,2,4,8.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace realtor

@@ -1,0 +1,61 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace realtor {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    out = LogLevel::kWarn;
+  } else if (text == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  // Agile hosts log from multiple threads; serialize whole lines.
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace realtor

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Off (Warn) by default so experiment binaries stay
+// quiet; protocol traces are enabled per-binary with --log=debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace realtor {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (not thread-safe to mutate mid-run; set it
+/// once at startup before spawning agile hosts).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error"; returns false on junk.
+bool parse_log_level(const std::string& text, LogLevel& out);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+}  // namespace realtor
+
+#define REALTOR_LOG(level, expr)                                        \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::realtor::log_level())) {                    \
+      std::ostringstream realtor_log_os;                                \
+      realtor_log_os << expr;                                           \
+      ::realtor::detail::emit_log(level, realtor_log_os.str());         \
+    }                                                                   \
+  } while (false)
+
+#define REALTOR_DEBUG(expr) REALTOR_LOG(::realtor::LogLevel::kDebug, expr)
+#define REALTOR_INFO(expr) REALTOR_LOG(::realtor::LogLevel::kInfo, expr)
+#define REALTOR_WARN(expr) REALTOR_LOG(::realtor::LogLevel::kWarn, expr)
+#define REALTOR_ERROR(expr) REALTOR_LOG(::realtor::LogLevel::kError, expr)

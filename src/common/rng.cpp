@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace realtor {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+  // Seed through SplitMix64 so that correlated user seeds (0, 1, 2, ...)
+  // still produce well-separated states.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+RngStream::RngStream(std::uint64_t root_seed, std::string_view name)
+    : engine_(root_seed ^ hash_name(name)) {}
+
+double RngStream::uniform01() {
+  // 53 uniform mantissa bits -> double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  REALTOR_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t RngStream::uniform_index(std::uint64_t n) {
+  REALTOR_ASSERT(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t draw;
+  do {
+    draw = engine_();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+double RngStream::exponential(double mean) {
+  REALTOR_ASSERT(mean > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);  // log(0) guard; uniform01 is in [0,1)
+  return -mean * std::log(u);
+}
+
+bool RngStream::bernoulli(double p) { return uniform01() < p; }
+
+std::uint64_t RngStream::next_u64() { return engine_(); }
+
+}  // namespace realtor

@@ -1,0 +1,72 @@
+// Deterministic random-number streams.
+//
+// Experiments compare five protocols on *identical* workloads (the paper
+// overlays their curves at the same arrival rates), so each stochastic
+// decision class draws from its own named stream: switching protocol or
+// adding an extra draw in one component must not perturb the others.
+// Streams are derived from (seed, name) via SplitMix64 over an FNV-1a hash,
+// and generated with xoshiro256**.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace realtor {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded through SplitMix64 as the authors recommend.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  result_type operator()();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+/// A named substream of the experiment-wide seed.
+///
+/// Provides exactly the variate families the REALTOR experiments need.
+class RngStream {
+ public:
+  /// Derives an independent stream from a root seed and a stable name, e.g.
+  /// RngStream(seed, "arrivals") or RngStream(seed, "task-size").
+  RngStream(std::uint64_t root_seed, std::string_view name);
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Exponential with the given mean (mean > 0). Used for task sizes
+  /// (mean 5 s in the paper) and Poisson inter-arrival gaps (mean 1/lambda).
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Raw 64 random bits (for shuffles and derived seeds).
+  std::uint64_t next_u64();
+
+ private:
+  Xoshiro256 engine_;
+};
+
+/// Stable 64-bit hash of a stream name (FNV-1a).
+std::uint64_t hash_name(std::string_view name);
+
+}  // namespace realtor

@@ -1,0 +1,149 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace realtor {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return n_ > 0 ? min_ : 0.0; }
+
+double OnlineStats::max() const { return n_ > 0 ? max_ : 0.0; }
+
+double OnlineStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+WelchResult welch_t_test(const OnlineStats& a, const OnlineStats& b) {
+  WelchResult result;
+  if (a.count() < 2 || b.count() < 2) return result;
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double va = a.variance() / na;
+  const double vb = b.variance() / nb;
+  const double pooled = va + vb;
+  if (pooled <= 0.0) {
+    // Zero variance on both sides: means differ significantly iff they
+    // differ at all.
+    result.t = a.mean() == b.mean() ? 0.0
+                                    : std::numeric_limits<double>::infinity();
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.significant_at_5pct = a.mean() != b.mean();
+    return result;
+  }
+  result.t = (a.mean() - b.mean()) / std::sqrt(pooled);
+  result.degrees_of_freedom =
+      pooled * pooled /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  // Critical value: z_{0.975} = 1.96 with a small-df inflation so the
+  // normal approximation stays conservative (t_{0.975,df} ~ 1.96 + 2.4/df).
+  const double critical = 1.96 + 2.4 / std::max(1.0, result.degrees_of_freedom);
+  result.significant_at_5pct = std::abs(result.t) > critical;
+  return result;
+}
+
+void TimeWeightedStats::update(SimTime now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  } else {
+    REALTOR_ASSERT_MSG(now >= last_time_, "time must be monotone");
+    weighted_sum_ += last_value_ * (now - last_time_);
+  }
+  last_time_ = now;
+  last_value_ = value;
+}
+
+double TimeWeightedStats::average(SimTime now) const {
+  if (!started_ || now <= start_) return 0.0;
+  const double sum = weighted_sum_ + last_value_ * (now - last_time_);
+  return sum / (now - start_);
+}
+
+void TimeWeightedStats::reset() { *this = TimeWeightedStats{}; }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  REALTOR_ASSERT(bins > 0);
+  REALTOR_ASSERT(hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double pos = (x - lo_) / width_;
+  std::size_t idx = 0;
+  if (pos > 0.0) {
+    idx = std::min(counts_.size() - 1, static_cast<std::size_t>(pos));
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = running + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - running) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    running = next;
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+}  // namespace realtor

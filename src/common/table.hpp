@@ -1,0 +1,43 @@
+// Plain-text table and CSV emitters for the benchmark harness. Every figure
+// reproduction prints one series table in the same layout so EXPERIMENTS.md
+// can quote them directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace realtor {
+
+/// A column-oriented table: a header row plus formatted cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Fixed-width human-readable rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (fields quoted when they contain separators).
+  void print_csv(std::ostream& os) const;
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` significant decimal places.
+std::string format_double(double value, int precision);
+
+}  // namespace realtor

@@ -1,0 +1,30 @@
+// Fundamental vocabulary types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace realtor {
+
+/// Simulated time, in seconds. All paper parameters (task sizes, queue
+/// capacities, HELP intervals) are expressed in seconds, so a double keeps
+/// the model close to the text.
+using SimTime = double;
+
+/// Sentinel for "never" / unset times.
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+
+/// Identifier of a host (a node of the overlay network). Dense, 0-based.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifier of a task / migratable component instance.
+using TaskId = std::uint64_t;
+
+/// Identifier of a scheduled event inside the simulation engine.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+}  // namespace realtor

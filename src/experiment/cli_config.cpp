@@ -1,0 +1,143 @@
+#include "experiment/cli_config.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "proto/factory.hpp"
+
+namespace realtor::experiment {
+namespace {
+
+TopologyKind parse_topology(const std::string& name) {
+  if (name == "torus") return TopologyKind::kTorus;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "complete") return TopologyKind::kComplete;
+  if (name == "random") return TopologyKind::kRandom;
+  return TopologyKind::kMesh;
+}
+
+std::vector<AttackWave> parse_attacks(const std::string& spec) {
+  // "time:count:grace:outage" entries separated by commas.
+  std::vector<AttackWave> waves;
+  std::istringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    AttackWave wave;
+    unsigned long long count = 0;
+    if (std::sscanf(entry.c_str(), "%lf:%llu:%lf:%lf", &wave.time, &count,
+                    &wave.grace, &wave.outage) == 4) {
+      wave.count = static_cast<std::size_t>(count);
+      waves.push_back(wave);
+    }
+  }
+  return waves;
+}
+
+}  // namespace
+
+ScenarioConfig scenario_from_flags(const Flags& flags) {
+  ScenarioConfig config;
+
+  // Workload.
+  config.lambda = flags.get_double("lambda", config.lambda);
+  config.duration = flags.get_double("duration", 600.0);
+  config.warmup = flags.get_double("warmup", 0.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.queue_capacity = flags.get_double("queue", config.queue_capacity);
+  config.mean_task_size =
+      flags.get_double("task-size", config.mean_task_size);
+
+  // Topology.
+  config.topology.kind =
+      parse_topology(flags.get_string("topology", "mesh"));
+  config.topology.width =
+      static_cast<NodeId>(flags.get_int("width", config.topology.width));
+  config.topology.height =
+      static_cast<NodeId>(flags.get_int("height", config.topology.height));
+  config.topology.nodes =
+      static_cast<NodeId>(flags.get_int("nodes", config.topology.nodes));
+  config.topology.links = static_cast<std::size_t>(
+      flags.get_int("links", static_cast<std::int64_t>(config.topology.links)));
+  if (config.topology.kind != TopologyKind::kMesh) {
+    config.fixed_unicast_cost.reset();  // 4 is only right for the 5x5 mesh
+  }
+
+  // Protocol.
+  if (const auto kind =
+          proto::parse_protocol(flags.get_string("protocol", "realtor"))) {
+    config.protocol_kind = *kind;
+  }
+  proto::ProtocolConfig& p = config.protocol;
+  p.help_threshold = flags.get_double("help-threshold", p.help_threshold);
+  p.pledge_threshold =
+      flags.get_double("pledge-threshold", p.pledge_threshold);
+  p.alpha = flags.get_double("alpha", p.alpha);
+  p.beta = flags.get_double("beta", p.beta);
+  p.help_upper_limit = flags.get_double("upper-limit", p.help_upper_limit);
+  p.help_timeout = flags.get_double("help-timeout", p.help_timeout);
+  p.push_interval = flags.get_double("push-interval", p.push_interval);
+  p.soft_state_ttl = flags.get_double("ttl", p.soft_state_ttl);
+  p.max_communities = static_cast<std::uint32_t>(
+      flags.get_int("max-communities", p.max_communities));
+  p.gossip_interval = flags.get_double("gossip-interval", p.gossip_interval);
+  p.gossip_fanout = static_cast<std::uint32_t>(
+      flags.get_int("gossip-fanout", p.gossip_fanout));
+  if (flags.get_string("reward", "migration") == "pledge") {
+    p.reward_policy = proto::HelpRewardPolicy::kOnFirstUsefulPledge;
+  }
+
+  // Migration policy.
+  config.migration.max_tries =
+      static_cast<std::uint32_t>(flags.get_int("tries", 1));
+
+  // Accounting.
+  if (flags.get_string("cost", "paper") == "exact") {
+    config.cost_mode = net::CostMode::kExactHops;
+    config.fixed_unicast_cost.reset();
+  }
+  if (flags.get_string("flood", "links") == "spanning") {
+    config.flood_mode = net::FloodMode::kSpanningTree;
+  }
+  if (flags.has("unicast")) {
+    config.fixed_unicast_cost = flags.get_double("unicast", 4.0);
+  }
+
+  // Attacks.
+  if (flags.has("attack")) {
+    config.attacks = parse_attacks(flags.get_string("attack", ""));
+  }
+
+  // Extensions.
+  if (flags.get_bool("multires", false)) {
+    config.multi_resource.enabled = true;
+    config.multi_resource.mean_bandwidth_share = flags.get_double(
+        "bw-mean", config.multi_resource.mean_bandwidth_share);
+    config.multi_resource.secure_task_fraction = flags.get_double(
+        "secure-fraction", config.multi_resource.secure_task_fraction);
+  }
+  const std::string federate = flags.get_string("federate", "");
+  if (!federate.empty()) {
+    config.federation.enabled = true;
+    unsigned w = 0, h = 0;
+    if (std::sscanf(federate.c_str(), "%ux%u", &w, &h) == 2) {
+      config.federation.block_width = static_cast<NodeId>(w);
+      config.federation.block_height = static_cast<NodeId>(h);
+    } else {
+      config.federation.group_size = static_cast<NodeId>(
+          flags.get_int("group-size", config.federation.group_size));
+    }
+    config.federation.escalation_window = flags.get_double(
+        "escalation-window", config.federation.escalation_window);
+  }
+  if (flags.has("elusive")) {
+    config.elusiveness.enabled = true;
+    config.elusiveness.period = flags.get_double("elusive", 20.0);
+  }
+
+  // Output probes.
+  config.timeline_interval = flags.get_double("timeline", 0.0);
+  return config;
+}
+
+}  // namespace realtor::experiment

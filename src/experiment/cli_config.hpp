@@ -1,0 +1,30 @@
+// Flag → ScenarioConfig mapping shared by the CLI tool and the bench
+// binaries, so every knob of the system is reachable from a command line.
+//
+// Recognized flags (all optional; defaults reproduce the paper's §5 setup):
+//   workload:  --lambda --duration --seed --queue --task-size --warmup
+//   topology:  --topology=mesh|torus|ring|star|complete|random
+//              --width --height --nodes --links
+//   protocol:  --protocol=<name|paper label>  --help-threshold
+//              --pledge-threshold --alpha --beta --upper-limit
+//              --help-timeout --push-interval --ttl --max-communities
+//              --reward=migration|pledge --gossip-interval --gossip-fanout
+//   migration: --tries
+//   accounting: --cost=paper|exact  --flood=links|spanning  --unicast=<x>
+//   attacks:   --attack=time:count:grace:outage (repeatable via commas:
+//              "100:5:1:60,200:5:1:60")
+//   extensions: --multires  --bw-mean  --secure-fraction
+//               --federate=WxH (mesh blocks)  --escalation-window
+//               --elusive=<period>
+//   output:    --timeline=<interval>
+#pragma once
+
+#include "common/flags.hpp"
+#include "experiment/scenario.hpp"
+
+namespace realtor::experiment {
+
+/// Builds a ScenarioConfig from command-line flags.
+ScenarioConfig scenario_from_flags(const Flags& flags);
+
+}  // namespace realtor::experiment

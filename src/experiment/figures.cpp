@@ -1,0 +1,116 @@
+#include "experiment/figures.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/assert.hpp"
+#include "proto/factory.hpp"
+
+namespace realtor::experiment {
+namespace {
+
+std::vector<double> distinct_lambdas(const std::vector<SweepCell>& cells) {
+  std::vector<double> lambdas;
+  for (const SweepCell& cell : cells) {
+    if (std::find(lambdas.begin(), lambdas.end(), cell.lambda) ==
+        lambdas.end()) {
+      lambdas.push_back(cell.lambda);
+    }
+  }
+  std::sort(lambdas.begin(), lambdas.end());
+  return lambdas;
+}
+
+std::vector<proto::ProtocolKind> distinct_protocols(
+    const std::vector<SweepCell>& cells) {
+  std::vector<proto::ProtocolKind> kinds;
+  for (const SweepCell& cell : cells) {
+    if (std::find(kinds.begin(), kinds.end(), cell.kind) == kinds.end()) {
+      kinds.push_back(cell.kind);
+    }
+  }
+  return kinds;
+}
+
+const SweepCell* find_cell(const std::vector<SweepCell>& cells,
+                           proto::ProtocolKind kind, double lambda) {
+  for (const SweepCell& cell : cells) {
+    if (cell.kind == kind && cell.lambda == lambda) return &cell;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Table figure_table(const std::vector<SweepCell>& cells,
+                   const CellMetric& metric, int precision, bool with_ci) {
+  const auto lambdas = distinct_lambdas(cells);
+  const auto kinds = distinct_protocols(cells);
+  REALTOR_ASSERT(!lambdas.empty());
+  REALTOR_ASSERT(!kinds.empty());
+
+  std::vector<std::string> headers{"lambda"};
+  for (const auto kind : kinds) {
+    headers.emplace_back(proto::paper_label(kind));
+    if (with_ci) headers.emplace_back("+-95%");
+  }
+  Table table(std::move(headers));
+  for (const double lambda : lambdas) {
+    table.row().cell(lambda, 1);
+    for (const auto kind : kinds) {
+      const SweepCell* cell = find_cell(cells, kind, lambda);
+      REALTOR_ASSERT_MSG(cell != nullptr, "sweep grid has holes");
+      table.cell(metric(*cell).mean(), precision);
+      if (with_ci) table.cell(metric(*cell).ci95_halfwidth(), precision);
+    }
+  }
+  return table;
+}
+
+Table fig5_admission_probability(const std::vector<SweepCell>& cells) {
+  return figure_table(
+      cells,
+      [](const SweepCell& c) -> const OnlineStats& {
+        return c.admission_probability;
+      },
+      4);
+}
+
+Table fig6_message_overhead(const std::vector<SweepCell>& cells) {
+  return figure_table(
+      cells,
+      [](const SweepCell& c) -> const OnlineStats& { return c.total_messages; },
+      0);
+}
+
+Table fig7_cost_per_admitted(const std::vector<SweepCell>& cells) {
+  return figure_table(
+      cells,
+      [](const SweepCell& c) -> const OnlineStats& {
+        return c.messages_per_admitted;
+      },
+      2);
+}
+
+Table fig8_migration_rate(const std::vector<SweepCell>& cells) {
+  return figure_table(
+      cells,
+      [](const SweepCell& c) -> const OnlineStats& { return c.migration_rate; },
+      4);
+}
+
+void emit_figure(const std::string& title, const Table& table,
+                 const std::string& csv_path) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (!csv_path.empty()) {
+    if (table.save_csv(csv_path)) {
+      std::cout << "(csv: " << csv_path << ")\n";
+    } else {
+      std::cout << "(csv write failed: " << csv_path << ")\n";
+    }
+  }
+  std::cout.flush();
+}
+
+}  // namespace realtor::experiment

@@ -1,0 +1,32 @@
+// Table emitters: turn sweep results into the series the paper plots, one
+// column per protocol curve, one row per arrival rate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "experiment/sweep.hpp"
+
+namespace realtor::experiment {
+
+/// Which aggregated statistic of a cell a figure plots.
+using CellMetric = std::function<const OnlineStats&(const SweepCell&)>;
+
+/// Builds a lambda-by-protocol table of `metric` means (and 95% CI
+/// half-widths when `with_ci`).
+Table figure_table(const std::vector<SweepCell>& cells, const CellMetric& metric,
+                   int precision, bool with_ci = false);
+
+Table fig5_admission_probability(const std::vector<SweepCell>& cells);
+Table fig6_message_overhead(const std::vector<SweepCell>& cells);
+Table fig7_cost_per_admitted(const std::vector<SweepCell>& cells);
+Table fig8_migration_rate(const std::vector<SweepCell>& cells);
+
+/// Prints the table plus a one-line provenance header; optionally saves
+/// CSV next to it.
+void emit_figure(const std::string& title, const Table& table,
+                 const std::string& csv_path = "");
+
+}  // namespace realtor::experiment

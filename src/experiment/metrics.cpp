@@ -1,0 +1,31 @@
+#include "experiment/metrics.hpp"
+
+namespace realtor::experiment {
+
+double RunMetrics::admission_probability() const {
+  const std::uint64_t offered = generated - arrivals_at_dead_nodes;
+  if (offered == 0) return 0.0;
+  return static_cast<double>(admitted_total()) /
+         static_cast<double>(offered);
+}
+
+double RunMetrics::messages_per_admitted() const {
+  if (admitted_total() == 0) return 0.0;
+  return total_messages() / static_cast<double>(admitted_total());
+}
+
+double RunMetrics::migration_rate() const {
+  if (admitted_total() == 0) return 0.0;
+  return static_cast<double>(admitted_migrated) /
+         static_cast<double>(admitted_total());
+}
+
+double RunMetrics::evacuation_success_rate() const {
+  if (evacuation_candidates == 0) return 0.0;
+  return static_cast<double>(evacuated) /
+         static_cast<double>(evacuation_candidates);
+}
+
+void RunMetrics::reset() { *this = RunMetrics{}; }
+
+}  // namespace realtor::experiment

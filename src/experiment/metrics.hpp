@@ -1,0 +1,69 @@
+// Per-run metrics and the derived quantities the paper plots.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "net/message_ledger.hpp"
+
+namespace realtor::experiment {
+
+struct RunMetrics {
+  // Task accounting.
+  std::uint64_t generated = 0;
+  std::uint64_t admitted_local = 0;
+  std::uint64_t admitted_migrated = 0;
+  std::uint64_t rejected = 0;
+  /// Arrivals addressed to a node that was dead at the instant of arrival
+  /// (excluded from the admission-probability denominator; see DESIGN.md).
+  std::uint64_t arrivals_at_dead_nodes = 0;
+
+  // Completion accounting.
+  std::uint64_t completed = 0;
+  double completed_work_seconds = 0.0;
+  OnlineStats response_time;
+
+  // Attack / evacuation accounting (survivability experiments).
+  std::uint64_t evacuation_candidates = 0;  // tasks resident on victims
+  std::uint64_t evacuated = 0;              // successfully moved off
+  std::uint64_t lost_to_attack = 0;         // dropped with the node
+
+  // Discovery / migration accounting.
+  std::uint64_t migration_attempts = 0;
+  std::uint64_t migration_aborts = 0;
+  /// Inter-group solicitations sent (federation runs only).
+  std::uint64_t escalations = 0;
+  /// Proactive location-elusiveness relocations (moved / kept in place).
+  std::uint64_t elusive_moves = 0;
+  std::uint64_t elusive_stays = 0;
+  net::MessageLedger ledger;
+
+  // System telemetry.
+  double mean_occupancy = 0.0;   // time-averaged, across nodes
+  double mean_utilization = 0.0; // server busy fraction, across nodes
+
+  std::uint64_t admitted_total() const {
+    return admitted_local + admitted_migrated;
+  }
+
+  /// Fig. 5 / Fig. 9 y-axis: admitted / offered.
+  double admission_probability() const;
+
+  /// Fig. 6 y-axis: total message exchanges — flooding plus
+  /// admission-control negotiation, per the paper's counting rule.
+  double total_messages() const { return ledger.overhead_cost(); }
+
+  /// Fig. 7 y-axis: message cost per admitted task.
+  double messages_per_admitted() const;
+
+  /// Fig. 8 y-axis: migrations per admitted task.
+  double migration_rate() const;
+
+  /// Survivability: fraction of attacked-resident work rescued.
+  double evacuation_success_rate() const;
+
+  /// Zeroes all counters (warmup boundary).
+  void reset();
+};
+
+}  // namespace realtor::experiment

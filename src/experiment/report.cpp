@@ -1,0 +1,113 @@
+#include "experiment/report.hpp"
+
+#include <ostream>
+
+namespace realtor::experiment {
+
+Table summary_table(const RunMetrics& metrics) {
+  Table table({"metric", "value"});
+  const auto add_count = [&table](const char* name, std::uint64_t value) {
+    table.row().cell(std::string(name)).cell(value);
+  };
+  const auto add_ratio = [&table](const char* name, double value) {
+    table.row().cell(std::string(name)).cell(value, 4);
+  };
+  add_count("tasks generated", metrics.generated);
+  add_count("admitted locally", metrics.admitted_local);
+  add_count("admitted via migration", metrics.admitted_migrated);
+  add_count("rejected", metrics.rejected);
+  if (metrics.arrivals_at_dead_nodes > 0) {
+    add_count("arrivals at dead nodes", metrics.arrivals_at_dead_nodes);
+  }
+  add_ratio("admission probability", metrics.admission_probability());
+  add_ratio("migration rate", metrics.migration_rate());
+  add_count("completed", metrics.completed);
+  add_ratio("mean response time (s)", metrics.response_time.mean());
+  add_ratio("mean occupancy", metrics.mean_occupancy);
+  add_ratio("mean utilization", metrics.mean_utilization);
+  if (metrics.evacuation_candidates > 0) {
+    add_count("evacuation candidates", metrics.evacuation_candidates);
+    add_count("evacuated", metrics.evacuated);
+    add_count("lost to attack", metrics.lost_to_attack);
+    add_ratio("evacuation success", metrics.evacuation_success_rate());
+  }
+  if (metrics.escalations > 0) {
+    add_count("inter-group escalations", metrics.escalations);
+  }
+  if (metrics.elusive_moves + metrics.elusive_stays > 0) {
+    add_count("elusive relocations", metrics.elusive_moves);
+    add_count("elusive stay-puts", metrics.elusive_stays);
+  }
+  add_ratio("overhead units (Fig. 6)", metrics.total_messages());
+  add_ratio("units per admitted task", metrics.messages_per_admitted());
+  return table;
+}
+
+Table ledger_table(const RunMetrics& metrics) {
+  Table table({"kind", "sends", "cost units"});
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(net::MessageKind::kCount); ++i) {
+    const auto kind = static_cast<net::MessageKind>(i);
+    if (metrics.ledger.sends(kind) == 0) continue;
+    table.row()
+        .cell(std::string(net::to_string(kind)))
+        .cell(metrics.ledger.sends(kind))
+        .cell(metrics.ledger.cost(kind), 1);
+  }
+  table.row()
+      .cell(std::string("TOTAL"))
+      .cell(metrics.ledger.total_sends())
+      .cell(metrics.ledger.total_cost(), 1);
+  return table;
+}
+
+Table per_node_table(Simulation& simulation) {
+  Table table({"node", "alive", "completed", "utilization", "avg occupancy",
+               "backlog (s)"});
+  const SimTime now = simulation.engine().now();
+  for (NodeId id = 0; id < simulation.topology().num_nodes(); ++id) {
+    const node::Host& host = simulation.host(id);
+    const auto& monitor = simulation.monitor(id);
+    table.row()
+        .cell(static_cast<std::uint64_t>(id))
+        .cell(std::string(simulation.topology().alive(id) ? "yes" : "no"))
+        .cell(host.completed_count())
+        .cell(monitor.utilization(now), 3)
+        .cell(monitor.average_occupancy(now), 3)
+        .cell(host.backlog_seconds(), 1);
+  }
+  return table;
+}
+
+Table timeline_table(const Simulation& simulation) {
+  Table table({"t (s)", "alive", "occupancy", "window admission",
+               "overhead"});
+  for (const TimelineSample& sample : simulation.timeline()) {
+    table.row()
+        .cell(sample.time, 0)
+        .cell(static_cast<std::uint64_t>(sample.alive_nodes))
+        .cell(sample.mean_occupancy, 3)
+        .cell(sample.window_admission, 4)
+        .cell(sample.overhead_cost, 0);
+  }
+  return table;
+}
+
+void print_report(std::ostream& os, const std::string& title,
+                  Simulation& simulation, bool verbose) {
+  os << "== " << title << " ==\n\n";
+  summary_table(simulation.metrics()).print(os);
+  os << "\n-- message accounting --\n";
+  ledger_table(simulation.metrics()).print(os);
+  if (!simulation.timeline().empty()) {
+    os << "\n-- timeline --\n";
+    timeline_table(simulation).print(os);
+  }
+  if (verbose) {
+    os << "\n-- per node --\n";
+    per_node_table(simulation).print(os);
+  }
+  os.flush();
+}
+
+}  // namespace realtor::experiment

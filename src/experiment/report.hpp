@@ -1,0 +1,31 @@
+// Human-readable report tables for a finished run — what the CLI and the
+// examples print.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/table.hpp"
+#include "experiment/simulation.hpp"
+
+namespace realtor::experiment {
+
+/// Headline counters and derived quantities of a run.
+Table summary_table(const RunMetrics& metrics);
+
+/// Message accounting broken down by kind (sends + cost units).
+Table ledger_table(const RunMetrics& metrics);
+
+/// Per-node view: completions, utilization, time-average occupancy,
+/// residual backlog, liveness. Requires the Simulation that produced the
+/// metrics (for hosts and monitors).
+Table per_node_table(Simulation& simulation);
+
+/// Run timeline (empty table when sampling was disabled).
+Table timeline_table(const Simulation& simulation);
+
+/// Prints summary + ledger (+ per-node when `verbose`) with a title.
+void print_report(std::ostream& os, const std::string& title,
+                  Simulation& simulation, bool verbose);
+
+}  // namespace realtor::experiment

@@ -1,0 +1,107 @@
+#include "experiment/sim_transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::experiment {
+
+SimTransport::SimTransport(sim::Engine& engine, const net::Topology& topology,
+                           const net::CostModel& cost_model,
+                           net::MessageLedger& ledger, SimTime delay,
+                           Deliver deliver)
+    : engine_(engine),
+      topology_(topology),
+      cost_model_(cost_model),
+      ledger_(ledger),
+      delay_(delay),
+      deliver_(std::move(deliver)),
+      paths_(topology) {
+  REALTOR_ASSERT(delay_ >= 0.0);
+  REALTOR_ASSERT(static_cast<bool>(deliver_));
+}
+
+std::uint32_t SimTransport::hop_distance(NodeId from, NodeId to) const {
+  if (paths_.version() != topology_.version()) {
+    paths_.refresh();
+  }
+  const std::uint32_t d = paths_.hops(from, to);
+  // Disconnected pairs cannot exchange messages anyway; charge one leg so
+  // the event still fires and liveness is re-checked at delivery time.
+  return d == net::kUnreachable || d == 0 ? 1 : d;
+}
+
+net::MessageKind SimTransport::kind_of(const proto::Message& msg) {
+  if (std::holds_alternative<proto::HelpMsg>(msg)) {
+    return net::MessageKind::kHelp;
+  }
+  if (std::holds_alternative<proto::PledgeMsg>(msg)) {
+    return net::MessageKind::kPledge;
+  }
+  if (std::holds_alternative<proto::GossipMsg>(msg)) {
+    return net::MessageKind::kGossip;
+  }
+  return net::MessageKind::kPushAdvert;
+}
+
+void SimTransport::deliver_later(NodeId dest, NodeId origin,
+                                 const proto::Message& msg,
+                                 std::uint32_t hops) {
+  // Delivery is a separate event even at delay 0 so that receivers run
+  // after the sender's current handler completes (FIFO at equal times).
+  // With a positive per-hop delay, propagation is hop-accurate: a flood
+  // reaches near neighbors before far ones, a unicast takes its path
+  // length in legs.
+  engine_.schedule_in(delay_ * static_cast<double>(hops),
+                      [this, dest, origin, msg] {
+                        if (topology_.alive(dest)) {
+                          deliver_(dest, origin, msg);
+                        }
+                      });
+}
+
+void SimTransport::flood(NodeId origin, const proto::Message& msg) {
+  if (groups_ != nullptr) {
+    // Federated overlay: the flood stays inside the origin's neighbor
+    // group and costs only that group's links.
+    const federation::GroupId group = groups_->group_of(origin);
+    ledger_.record(kind_of(msg), static_cast<double>(
+        groups_->intra_group_alive_links(group, topology_)));
+    for (const NodeId dest : groups_->members(group)) {
+      if (dest == origin || !topology_.alive(dest)) continue;
+      deliver_later(dest, origin, msg,
+                    delay_ > 0.0 ? hop_distance(origin, dest) : 1);
+    }
+    return;
+  }
+  ledger_.record(kind_of(msg), cost_model_.flood_cost());
+  for (NodeId dest = 0; dest < topology_.num_nodes(); ++dest) {
+    if (dest == origin || !topology_.alive(dest)) continue;
+    deliver_later(dest, origin, msg,
+                  delay_ > 0.0 ? hop_distance(origin, dest) : 1);
+  }
+}
+
+void SimTransport::escalate(NodeId origin, federation::GroupId target_group,
+                            const proto::Message& msg) {
+  REALTOR_ASSERT_MSG(groups_ != nullptr, "escalate() needs a group map");
+  const NodeId gateway = groups_->gateway(target_group, topology_);
+  if (gateway == kInvalidNode) return;  // whole group is down
+  // Transit to the remote gateway (2 unicast legs: origin -> own gateway
+  // -> remote gateway) plus the remote group's internal flood.
+  const double transit = 2.0 * cost_model_.unicast_cost(origin, gateway);
+  const double remote_flood = static_cast<double>(
+      groups_->intra_group_alive_links(target_group, topology_));
+  ledger_.record(kind_of(msg), transit + remote_flood);
+  for (const NodeId dest : groups_->members(target_group)) {
+    if (dest == origin || !topology_.alive(dest)) continue;
+    deliver_later(dest, origin, msg);
+  }
+}
+
+void SimTransport::unicast(NodeId from, NodeId to, const proto::Message& msg) {
+  ledger_.record(kind_of(msg), cost_model_.unicast_cost(from, to));
+  deliver_later(to, from, msg, delay_ > 0.0 ? hop_distance(from, to) : 1);
+}
+
+}  // namespace realtor::experiment

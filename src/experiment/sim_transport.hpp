@@ -1,0 +1,60 @@
+// Transport implementation for the discrete-event harness: delivers
+// protocol messages across the overlay and charges the ledger using the
+// paper's accounting (flood = alive links; unicast = average path length).
+#pragma once
+
+#include <functional>
+
+#include "federation/group_map.hpp"
+#include "net/cost_model.hpp"
+#include "net/message_ledger.hpp"
+#include "net/shortest_paths.hpp"
+#include "net/topology.hpp"
+#include "proto/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::experiment {
+
+class SimTransport final : public proto::Transport {
+ public:
+  /// Routes a delivered message to the destination protocol instance.
+  using Deliver = std::function<void(NodeId to, NodeId from,
+                                     const proto::Message&)>;
+
+  SimTransport(sim::Engine& engine, const net::Topology& topology,
+               const net::CostModel& cost_model, net::MessageLedger& ledger,
+               SimTime delay, Deliver deliver);
+
+  /// Federation: restricts flood() to the origin's neighbor group (the §7
+  /// extension). Pass nullptr (default) for the paper's flat overlay.
+  /// The map must outlive the transport.
+  void set_group_map(const federation::GroupMap* groups) { groups_ = groups; }
+
+  void flood(NodeId origin, const proto::Message& msg) override;
+  void unicast(NodeId from, NodeId to, const proto::Message& msg) override;
+
+  /// Inter-group escalation: floods `msg` into `target_group` on behalf of
+  /// `origin`, charged as the target group's intra links plus a
+  /// gateway-to-gateway transit (2 unicasts). Requires a group map.
+  void escalate(NodeId origin, federation::GroupId target_group,
+                const proto::Message& msg);
+
+ private:
+  static net::MessageKind kind_of(const proto::Message& msg);
+  /// Schedules delivery after `hops` propagation legs (delay per hop; a
+  /// zero-delay transport still defers by one event for FIFO causality).
+  void deliver_later(NodeId dest, NodeId origin, const proto::Message& msg,
+                     std::uint32_t hops = 1);
+  std::uint32_t hop_distance(NodeId from, NodeId to) const;
+
+  sim::Engine& engine_;
+  const net::Topology& topology_;
+  const net::CostModel& cost_model_;
+  net::MessageLedger& ledger_;
+  SimTime delay_;
+  Deliver deliver_;
+  const federation::GroupMap* groups_ = nullptr;
+  mutable net::ShortestPaths paths_;
+};
+
+}  // namespace realtor::experiment

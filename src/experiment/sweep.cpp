@@ -1,0 +1,73 @@
+#include "experiment/sweep.hpp"
+
+#include "common/assert.hpp"
+#include "experiment/simulation.hpp"
+
+namespace realtor::experiment {
+
+std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
+                                 const SweepOptions& options) {
+  REALTOR_ASSERT(!options.lambdas.empty());
+  REALTOR_ASSERT(!options.protocols.empty());
+  REALTOR_ASSERT(options.replications >= 1);
+
+  std::vector<SweepCell> cells;
+  cells.reserve(options.lambdas.size() * options.protocols.size());
+
+  for (const proto::ProtocolKind kind : options.protocols) {
+    for (const double lambda : options.lambdas) {
+      SweepCell cell;
+      cell.kind = kind;
+      cell.lambda = lambda;
+      for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+        ScenarioConfig config = base;
+        config.protocol_kind = kind;
+        config.lambda = lambda;
+        // Workload seed depends on (base seed, lambda index, rep) only —
+        // not on the protocol — giving common random numbers across the
+        // five curves.
+        config.seed = base.seed + 1000003ULL * rep +
+                      static_cast<std::uint64_t>(lambda * 1e6);
+        Simulation simulation(config);
+        const RunMetrics& m = simulation.run();
+        cell.admission_probability.add(m.admission_probability());
+        cell.total_messages.add(m.total_messages());
+        cell.messages_per_admitted.add(m.messages_per_admitted());
+        cell.migration_rate.add(m.migration_rate());
+        cell.mean_occupancy.add(m.mean_occupancy);
+        cell.evacuation_success.add(m.evacuation_success_rate());
+        cell.summed.generated += m.generated;
+        cell.summed.admitted_local += m.admitted_local;
+        cell.summed.admitted_migrated += m.admitted_migrated;
+        cell.summed.rejected += m.rejected;
+        cell.summed.arrivals_at_dead_nodes += m.arrivals_at_dead_nodes;
+        cell.summed.completed += m.completed;
+        cell.summed.evacuation_candidates += m.evacuation_candidates;
+        cell.summed.evacuated += m.evacuated;
+        cell.summed.lost_to_attack += m.lost_to_attack;
+        cell.summed.migration_attempts += m.migration_attempts;
+        cell.summed.migration_aborts += m.migration_aborts;
+        cell.summed.ledger.merge(m.ledger);
+        if (options.on_run) {
+          options.on_run(cell, rep);
+        }
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+SweepOptions paper_sweep_options(std::vector<double> lambdas,
+                                 std::uint32_t replications) {
+  SweepOptions options;
+  options.lambdas = std::move(lambdas);
+  options.protocols = {
+      proto::ProtocolKind::kPurePull, proto::ProtocolKind::kPurePush,
+      proto::ProtocolKind::kAdaptivePush, proto::ProtocolKind::kAdaptivePull,
+      proto::ProtocolKind::kRealtor};
+  options.replications = replications;
+  return options;
+}
+
+}  // namespace realtor::experiment

@@ -1,0 +1,48 @@
+// Replicated parameter sweeps with common random numbers.
+//
+// The paper overlays five protocol curves at identical arrival rates; the
+// sweep gives each (lambda, replication) cell one workload seed shared by
+// every protocol, so curve differences are protocol differences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "experiment/metrics.hpp"
+#include "experiment/scenario.hpp"
+
+namespace realtor::experiment {
+
+/// Aggregated results of one (protocol, lambda) cell across replications.
+struct SweepCell {
+  proto::ProtocolKind kind = proto::ProtocolKind::kRealtor;
+  double lambda = 0.0;
+  OnlineStats admission_probability;
+  OnlineStats total_messages;
+  OnlineStats messages_per_admitted;
+  OnlineStats migration_rate;
+  OnlineStats mean_occupancy;
+  OnlineStats evacuation_success;
+  RunMetrics summed;  // raw counters summed across replications
+};
+
+struct SweepOptions {
+  std::vector<double> lambdas;
+  std::vector<proto::ProtocolKind> protocols;
+  std::uint32_t replications = 10;
+  /// Called after each completed run (progress reporting); may be empty.
+  std::function<void(const SweepCell&, std::uint32_t rep)> on_run;
+};
+
+/// Runs `base` across options.lambdas x options.protocols x replications.
+/// Results are ordered protocol-major, lambda-minor.
+std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
+                                 const SweepOptions& options);
+
+/// Convenience: sweep all five paper protocols at the given lambdas.
+SweepOptions paper_sweep_options(std::vector<double> lambdas,
+                                 std::uint32_t replications);
+
+}  // namespace realtor::experiment

@@ -1,0 +1,103 @@
+#include "federation/group_map.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace realtor::federation {
+
+GroupMap::GroupMap(std::vector<GroupId> group_of)
+    : group_of_(std::move(group_of)) {
+  REALTOR_ASSERT(!group_of_.empty());
+  GroupId max_group = 0;
+  for (const GroupId g : group_of_) {
+    max_group = std::max(max_group, g);
+  }
+  members_.resize(max_group + 1);
+  for (NodeId node = 0; node < group_of_.size(); ++node) {
+    members_[group_of_[node]].push_back(node);
+  }
+  for (const auto& group : members_) {
+    REALTOR_ASSERT_MSG(!group.empty(), "empty group in partition");
+  }
+}
+
+GroupMap GroupMap::mesh_blocks(NodeId mesh_w, NodeId mesh_h, NodeId block_w,
+                               NodeId block_h) {
+  REALTOR_ASSERT(block_w > 0 && block_h > 0);
+  REALTOR_ASSERT_MSG(mesh_w % block_w == 0 && mesh_h % block_h == 0,
+                     "block dimensions must divide the mesh");
+  const NodeId blocks_per_row = mesh_w / block_w;
+  std::vector<GroupId> group_of(static_cast<std::size_t>(mesh_w) * mesh_h);
+  for (NodeId y = 0; y < mesh_h; ++y) {
+    for (NodeId x = 0; x < mesh_w; ++x) {
+      const GroupId group = (y / block_h) * blocks_per_row + (x / block_w);
+      group_of[y * mesh_w + x] = group;
+    }
+  }
+  return GroupMap(std::move(group_of));
+}
+
+GroupMap GroupMap::chunks(NodeId num_nodes, NodeId group_size) {
+  REALTOR_ASSERT(num_nodes > 0);
+  REALTOR_ASSERT(group_size > 0);
+  std::vector<GroupId> group_of(num_nodes);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    group_of[node] = node / group_size;
+  }
+  return GroupMap(std::move(group_of));
+}
+
+GroupId GroupMap::group_of(NodeId node) const {
+  REALTOR_ASSERT(node < group_of_.size());
+  return group_of_[node];
+}
+
+const std::vector<NodeId>& GroupMap::members(GroupId group) const {
+  REALTOR_ASSERT(group < members_.size());
+  return members_[group];
+}
+
+std::vector<GroupId> GroupMap::adjacent_groups(
+    GroupId group, const net::Topology& topology) const {
+  REALTOR_ASSERT(group < members_.size());
+  std::vector<GroupId> out;
+  for (const net::Link& link : topology.links()) {
+    const GroupId ga = group_of_[link.a];
+    const GroupId gb = group_of_[link.b];
+    GroupId other = group;
+    if (ga == group && gb != group) {
+      other = gb;
+    } else if (gb == group && ga != group) {
+      other = ga;
+    } else {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), other) == out.end()) {
+      out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t GroupMap::intra_group_alive_links(
+    GroupId group, const net::Topology& topology) const {
+  std::size_t count = 0;
+  for (const net::Link& link : topology.links()) {
+    if (group_of_[link.a] == group && group_of_[link.b] == group &&
+        topology.alive(link.a) && topology.alive(link.b)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+NodeId GroupMap::gateway(GroupId group, const net::Topology& topology) const {
+  for (const NodeId node : members(group)) {
+    if (topology.alive(node)) return node;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace realtor::federation

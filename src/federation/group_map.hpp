@@ -1,0 +1,62 @@
+// Neighbor-group partitioning — the paper's §7 future work: "we will
+// extend this work to inter-neighbor-group resource discovery and
+// allocation for very large distributed dynamic real-time systems."
+//
+// A GroupMap splits the overlay into disjoint neighbor groups. Discovery
+// floods (HELP, push adverts) stay inside the origin's group; when a
+// group is exhausted the harness escalates a solicitation into adjacent
+// groups through a gateway. Unicasts (PLEDGE, negotiation) remain global.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace realtor::federation {
+
+using GroupId = std::uint32_t;
+
+class GroupMap {
+ public:
+  /// Partitions a mesh_w x mesh_h mesh into block_w x block_h blocks;
+  /// block dimensions must divide the mesh dimensions.
+  static GroupMap mesh_blocks(NodeId mesh_w, NodeId mesh_h, NodeId block_w,
+                              NodeId block_h);
+
+  /// Generic partition: consecutive id ranges of `group_size` nodes (the
+  /// last group may be smaller).
+  static GroupMap chunks(NodeId num_nodes, NodeId group_size);
+
+  GroupId group_of(NodeId node) const;
+  const std::vector<NodeId>& members(GroupId group) const;
+  GroupId group_count() const {
+    return static_cast<GroupId>(members_.size());
+  }
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(group_of_.size());
+  }
+
+  /// Groups connected to `group` by at least one topology link.
+  std::vector<GroupId> adjacent_groups(GroupId group,
+                                       const net::Topology& topology) const;
+
+  /// Links of `topology` with both alive endpoints inside `group` — the
+  /// flood cost base for a group-scoped flood.
+  std::size_t intra_group_alive_links(GroupId group,
+                                      const net::Topology& topology) const;
+
+  /// Gateway of a group: its lowest-id alive member (kInvalidNode when
+  /// the whole group is dead). Deterministic, recomputed on demand so it
+  /// survives gateway failures — consistent with the soft-state design.
+  NodeId gateway(GroupId group, const net::Topology& topology) const;
+
+ private:
+  explicit GroupMap(std::vector<GroupId> group_of);
+
+  std::vector<GroupId> group_of_;          // node -> group
+  std::vector<std::vector<NodeId>> members_;  // group -> nodes
+};
+
+}  // namespace realtor::federation

@@ -1,0 +1,71 @@
+#include "net/message_ledger.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::net {
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHelp:
+      return "HELP";
+    case MessageKind::kPledge:
+      return "PLEDGE";
+    case MessageKind::kPushAdvert:
+      return "PUSH";
+    case MessageKind::kGossip:
+      return "GOSSIP";
+    case MessageKind::kNegotiation:
+      return "NEGOTIATION";
+    case MessageKind::kMigration:
+      return "MIGRATION";
+    case MessageKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+void MessageLedger::record(MessageKind kind, double cost_units,
+                           std::uint64_t count) {
+  REALTOR_ASSERT(kind != MessageKind::kCount);
+  REALTOR_ASSERT(cost_units >= 0.0);
+  const auto i = static_cast<std::size_t>(kind);
+  sends_[i] += count;
+  cost_[i] += cost_units;
+}
+
+std::uint64_t MessageLedger::sends(MessageKind kind) const {
+  REALTOR_ASSERT(kind != MessageKind::kCount);
+  return sends_[static_cast<std::size_t>(kind)];
+}
+
+double MessageLedger::cost(MessageKind kind) const {
+  REALTOR_ASSERT(kind != MessageKind::kCount);
+  return cost_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t MessageLedger::total_sends() const {
+  std::uint64_t total = 0;
+  for (const auto s : sends_) total += s;
+  return total;
+}
+
+double MessageLedger::total_cost() const {
+  double total = 0.0;
+  for (const auto c : cost_) total += c;
+  return total;
+}
+
+double MessageLedger::overhead_cost() const {
+  return total_cost() - cost(MessageKind::kMigration);
+}
+
+void MessageLedger::merge(const MessageLedger& other) {
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    sends_[i] += other.sends_[i];
+    cost_[i] += other.cost_[i];
+  }
+}
+
+void MessageLedger::reset() { *this = MessageLedger{}; }
+
+}  // namespace realtor::net

@@ -1,0 +1,53 @@
+// Message accounting in the paper's units.
+//
+// §5: "the number of messages for resource information advertisement to the
+// network is counted as the number of links ... HELP message requires the
+// number of links for flooding, while PLEDGE message takes the average
+// number of shortest paths ... the total number of messages is counted as
+// the sum of 1) message flooding, and 2) communication for migration
+// between admission controls."
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace realtor::net {
+
+enum class MessageKind : std::size_t {
+  kHelp = 0,        // community invitation flood (PULL solicitations)
+  kPledge,          // availability reply / unsolicited threshold pledge
+  kPushAdvert,      // PUSH-based availability dissemination flood
+  kGossip,          // anti-entropy digest exchange (modern baseline)
+  kNegotiation,     // admission-control negotiation during migration
+  kMigration,       // component/task transfer itself
+  kCount,
+};
+
+const char* to_string(MessageKind kind);
+
+class MessageLedger {
+ public:
+  /// `count` protocol-level sends costing `cost_units` network messages in
+  /// total (a flood of cost 40 is one send, 40 units).
+  void record(MessageKind kind, double cost_units, std::uint64_t count = 1);
+
+  std::uint64_t sends(MessageKind kind) const;
+  double cost(MessageKind kind) const;
+
+  std::uint64_t total_sends() const;
+  double total_cost() const;
+
+  /// Everything except the migration payload itself — the discovery +
+  /// negotiation overhead plotted in Figs 6-7.
+  double overhead_cost() const;
+
+  void merge(const MessageLedger& other);
+  void reset();
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      sends_{};
+  std::array<double, static_cast<std::size_t>(MessageKind::kCount)> cost_{};
+};
+
+}  // namespace realtor::net

@@ -1,0 +1,65 @@
+#include "net/shortest_paths.hpp"
+
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace realtor::net {
+
+ShortestPaths::ShortestPaths(const Topology& topology) : topology_(topology) {
+  refresh();
+}
+
+void ShortestPaths::refresh() {
+  const NodeId n = topology_.num_nodes();
+  dist_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+
+  std::deque<NodeId> frontier;
+  for (NodeId src = 0; src < n; ++src) {
+    if (!topology_.alive(src)) continue;
+    auto* row = &dist_[static_cast<std::size_t>(src) * n];
+    row[src] = 0;
+    frontier.clear();
+    frontier.push_back(src);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const NodeId v : topology_.neighbors(u)) {
+        if (!topology_.alive(v) || row[v] != kUnreachable) continue;
+        row[v] = row[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+  diameter_ = 0;
+  connected_ = true;
+  for (NodeId a = 0; a < n; ++a) {
+    if (!topology_.alive(a)) continue;
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b || !topology_.alive(b)) continue;
+      const std::uint32_t d = dist_[static_cast<std::size_t>(a) * n + b];
+      if (d == kUnreachable) {
+        connected_ = false;
+        continue;
+      }
+      sum += d;
+      ++pairs;
+      if (d > diameter_) diameter_ = d;
+    }
+  }
+  average_path_length_ = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  version_ = topology_.version();
+}
+
+std::uint32_t ShortestPaths::hops(NodeId from, NodeId to) const {
+  REALTOR_ASSERT(from < topology_.num_nodes());
+  REALTOR_ASSERT(to < topology_.num_nodes());
+  REALTOR_ASSERT_MSG(version_ == topology_.version(),
+                     "ShortestPaths is stale; call refresh()");
+  return dist_[static_cast<std::size_t>(from) * topology_.num_nodes() + to];
+}
+
+}  // namespace realtor::net

@@ -1,0 +1,83 @@
+// Overlay network topology.
+//
+// The paper simulates a 5x5 mesh (25 nodes, 40 links, Fig. 4) that doubles
+// as the neighbor scope for all five discovery protocols. Nodes can be
+// marked dead to model external attacks; dead nodes neither originate nor
+// receive messages and their links carry no traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::net {
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+};
+
+class Topology {
+ public:
+  explicit Topology(NodeId num_nodes);
+
+  /// Adds an undirected link; duplicate and self links are rejected.
+  void add_link(NodeId a, NodeId b);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_links() const { return links_.size(); }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<NodeId>& neighbors(NodeId node) const;
+  bool has_link(NodeId a, NodeId b) const;
+
+  /// Liveness (attack) state. Nodes start alive.
+  bool alive(NodeId node) const;
+  void set_alive(NodeId node, bool alive);
+  std::size_t alive_count() const { return alive_count_; }
+  std::vector<NodeId> alive_nodes() const;
+
+  /// Links whose both endpoints are alive — the flood cost base in the
+  /// paper's accounting.
+  std::size_t alive_link_count() const;
+
+  /// Alive neighbors of an alive node.
+  std::vector<NodeId> alive_neighbors(NodeId node) const;
+
+  /// Monotone counter bumped on every liveness change; cheap cache
+  /// invalidation for derived structures (shortest paths, cost model).
+  std::uint64_t version() const { return version_; }
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Link> links_;
+  std::vector<char> alive_;
+  std::size_t alive_count_;
+  std::uint64_t version_ = 0;
+};
+
+/// w x h grid; interior nodes have 4 neighbors. mesh(5,5) reproduces the
+/// paper's 25-node / 40-link topology.
+Topology make_mesh(NodeId width, NodeId height);
+
+/// Grid with wraparound links in both dimensions.
+Topology make_torus(NodeId width, NodeId height);
+
+/// Cycle of n nodes.
+Topology make_ring(NodeId n);
+
+/// Hub node 0 connected to all others.
+Topology make_star(NodeId n);
+
+/// All pairs connected.
+Topology make_complete(NodeId n);
+
+/// Connected Erdos-Renyi-style graph: a random spanning tree plus extra
+/// random links until `target_links` is reached. Deterministic given seed.
+Topology make_random_connected(NodeId n, std::size_t target_links,
+                               std::uint64_t seed);
+
+}  // namespace realtor::net

@@ -1,0 +1,18 @@
+#include "node/monitor.hpp"
+
+namespace realtor::node {
+
+void UtilizationMonitor::sample(SimTime now, const Host& host) {
+  const double occ = host.occupancy();
+  occupancy_.update(now, occ);
+  busy_.update(now, host.busy() ? 1.0 : 0.0);
+  samples_.add(occ);
+}
+
+void UtilizationMonitor::reset() {
+  occupancy_.reset();
+  busy_.reset();
+  samples_.reset();
+}
+
+}  // namespace realtor::node

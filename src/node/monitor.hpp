@@ -1,0 +1,40 @@
+// Per-host utilization / occupancy telemetry for the experiment reports.
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "node/host.hpp"
+
+namespace realtor::node {
+
+class UtilizationMonitor {
+ public:
+  /// Samples `host` on every status change; call attach() once after the
+  /// host's other listeners are wired (the monitor chains, it does not
+  /// replace them).
+  UtilizationMonitor() = default;
+
+  /// Records the current occupancy and busy state at time `now`.
+  void sample(SimTime now, const Host& host);
+
+  /// Time-average occupancy fraction over the observation window ending at
+  /// `now`.
+  double average_occupancy(SimTime now) const {
+    return occupancy_.average(now);
+  }
+
+  /// Fraction of time the server was busy (utilization).
+  double utilization(SimTime now) const { return busy_.average(now); }
+
+  /// Distribution of occupancy values seen at status changes.
+  const OnlineStats& occupancy_samples() const { return samples_; }
+
+  void reset();
+
+ private:
+  TimeWeightedStats occupancy_;
+  TimeWeightedStats busy_;
+  OnlineStats samples_;
+};
+
+}  // namespace realtor::node

@@ -1,0 +1,28 @@
+// The unit of work. §5: "Task lengths are defined in seconds ... a task with
+// value 2 holds the CPU on the node for 2 seconds."
+#pragma once
+
+#include "common/types.hpp"
+
+namespace realtor::node {
+
+struct Task {
+  TaskId id = 0;
+  /// CPU seconds the task holds the (unit-rate) server.
+  double size_seconds = 0.0;
+  /// System arrival instant (before any migration).
+  SimTime arrival_time = 0.0;
+  /// Node the workload generator originally assigned the task to.
+  NodeId origin = kInvalidNode;
+  /// How many times this task has been migrated (0 = admitted locally).
+  std::uint32_t migrations = 0;
+
+  // --- multi-resource extension (paper §5 footnote 3) -------------------
+  /// Fraction of the host NIC held while the task is resident (queued or
+  /// in service). 0 disables the bandwidth dimension for this task.
+  double bandwidth_share = 0.0;
+  /// Minimum host security level required; 0 accepts any host.
+  std::uint8_t min_security = 0;
+};
+
+}  // namespace realtor::node

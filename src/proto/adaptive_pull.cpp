@@ -1,0 +1,102 @@
+#include "proto/adaptive_pull.hpp"
+
+#include <algorithm>
+
+namespace realtor::proto {
+
+AdaptivePullProtocol::AdaptivePullProtocol(NodeId self,
+                                           const ProtocolConfig& config,
+                                           ProtocolEnv env)
+    : DiscoveryProtocol(self, config, std::move(env)),
+      algo_h_(config),
+      responder_(config),
+      pledge_list_(config.soft_state_ttl, config.availability_floor),
+      help_timer_(*env_.engine) {}
+
+void AdaptivePullProtocol::on_status_change(double occupancy) {
+  responder_.note_status(now(), occupancy);
+}
+
+void AdaptivePullProtocol::on_task_arrival(double occupancy_with_task) {
+  if (!env_.topology->alive(self_)) return;
+  if (!algo_h_.should_send_help(now(), occupancy_with_task)) return;
+  send_help(
+      std::min(1.0, std::max(0.0, occupancy_with_task - config_.help_threshold)));
+}
+
+void AdaptivePullProtocol::solicit() {
+  if (!env_.topology->alive(self_)) return;
+  send_help(1.0);  // emergency: bypass the Algorithm-H interval gate
+}
+
+void AdaptivePullProtocol::send_help(double urgency) {
+  HelpMsg help;
+  help.origin = self_;
+  help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
+  help.urgency = urgency;
+  env_.transport->flood(self_, Message{help});
+  const SimTime timeout = algo_h_.note_help_sent(now());
+  help_timer_.arm(timeout, [this] { algo_h_.note_timeout(); });
+}
+
+void AdaptivePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  if (const auto* help = std::get_if<HelpMsg>(&msg)) {
+    handle_help(*help);
+  } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
+    handle_pledge(*pledge);
+  }
+}
+
+void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
+  if (!env_.topology->alive(self_)) return;
+  const double occupancy = local_occupancy();
+  if (!responder_.should_pledge_on_help(occupancy)) return;
+  PledgeMsg pledge;
+  pledge.pledger = self_;
+  pledge.availability = 1.0 - occupancy;
+  pledge.community_count = 0;  // adaptive PULL members keep no membership
+  pledge.grant_probability = responder_.grant_probability(now());
+  pledge.security_level = local_security();
+  env_.transport->unicast(self_, help.origin, Message{pledge});
+}
+
+void AdaptivePullProtocol::handle_pledge(const PledgeMsg& pledge) {
+  if (algo_h_.note_pledge()) {
+    // Fig. 2 "reset_timer": the round stays open while pledges keep coming.
+    help_timer_.restart(config_.help_timeout);
+  }
+  pledge_list_.update(pledge.pledger, pledge.availability,
+                      pledge.grant_probability, now(),
+                      pledge.security_level);
+  if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
+      pledge.availability > config_.availability_floor) {
+    algo_h_.claim_round_reward();
+  }
+}
+
+std::vector<NodeId> AdaptivePullProtocol::migration_candidates(
+    const CandidateQuery& query) {
+  pledge_list_.expire(now());
+  return pledge_list_.candidates(
+      now(), rng_, PledgeQuery{query.min_availability, query.min_security});
+}
+
+void AdaptivePullProtocol::on_migration_result(NodeId target, double fraction,
+                                               bool success) {
+  if (success) {
+    pledge_list_.debit(target, fraction);
+    if (config_.reward_policy == HelpRewardPolicy::kOnMigrationSuccess) {
+      // Fig. 2 "a node is found for migration": the list delivered.
+      algo_h_.note_success();
+    }
+  } else {
+    pledge_list_.remove(target);
+  }
+}
+
+void AdaptivePullProtocol::on_self_killed() {
+  pledge_list_.clear();
+  help_timer_.cancel();
+}
+
+}  // namespace realtor::proto

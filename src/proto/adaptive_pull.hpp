@@ -1,0 +1,50 @@
+// Adaptive PULL baseline ("Pull-100").
+//
+// §4: solicits like REALTOR — HELP gated by Algorithm H's adaptive interval
+// with Upper_limit — but "it generates PLEDGE exactly once in response to
+// each HELP": no unsolicited status pledges, so the organizer's view decays
+// between solicitations. The untimeliness of the information is why this
+// scheme shows the lowest overhead but also the weakest admission curve
+// (Figs. 5-6).
+#pragma once
+
+#include "proto/algorithm_h.hpp"
+#include "proto/algorithm_p.hpp"
+#include "proto/discovery_protocol.hpp"
+#include "proto/pledge_list.hpp"
+#include "sim/timer.hpp"
+
+namespace realtor::proto {
+
+class AdaptivePullProtocol final : public DiscoveryProtocol {
+ public:
+  AdaptivePullProtocol(NodeId self, const ProtocolConfig& config,
+                       ProtocolEnv env);
+
+  const char* name() const override { return "adaptive-pull"; }
+
+  void on_status_change(double occupancy) override;
+  void on_task_arrival(double occupancy_with_task) override;
+  void on_message(NodeId from, const Message& msg) override;
+  using DiscoveryProtocol::migration_candidates;
+  std::vector<NodeId> migration_candidates(
+      const CandidateQuery& query) override;
+  void on_migration_result(NodeId target, double fraction,
+                           bool success) override;
+  void on_self_killed() override;
+  void solicit() override;
+
+  const AlgorithmH& algorithm_h() const { return algo_h_; }
+
+ private:
+  void send_help(double urgency);
+  void handle_help(const HelpMsg& help);
+  void handle_pledge(const PledgeMsg& pledge);
+
+  AlgorithmH algo_h_;
+  AlgorithmP responder_;
+  PledgeList pledge_list_;
+  sim::Timer help_timer_;
+};
+
+}  // namespace realtor::proto

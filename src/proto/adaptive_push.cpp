@@ -1,0 +1,51 @@
+#include "proto/adaptive_push.hpp"
+
+namespace realtor::proto {
+
+AdaptivePushProtocol::AdaptivePushProtocol(NodeId self,
+                                           const ProtocolConfig& config,
+                                           ProtocolEnv env)
+    : DiscoveryProtocol(self, config, std::move(env)),
+      detector_(config.pledge_threshold),
+      table_(self, config.availability_floor) {}
+
+void AdaptivePushProtocol::on_status_change(double occupancy) {
+  if (!env_.topology->alive(self_)) return;
+  if (detector_.update(occupancy) == node::Crossing::kNone) return;
+  PushAdvertMsg advert;
+  advert.origin = self_;
+  advert.availability = 1.0 - occupancy;
+  advert.security_level = local_security();
+  env_.transport->flood(self_, Message{advert});
+}
+
+void AdaptivePushProtocol::on_task_arrival(double /*occupancy_with_task*/) {}
+
+void AdaptivePushProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  if (const auto* advert = std::get_if<PushAdvertMsg>(&msg)) {
+    table_.update(advert->origin, advert->availability, now(),
+                  advert->security_level);
+  }
+}
+
+std::vector<NodeId> AdaptivePushProtocol::migration_candidates(
+    const CandidateQuery& query) {
+  return table_.candidates(peers(), rng_, query.min_availability,
+                           query.min_security);
+}
+
+void AdaptivePushProtocol::on_migration_result(NodeId target, double fraction,
+                                               bool success) {
+  if (success) {
+    table_.debit(target, fraction);
+  } else {
+    table_.invalidate(target);
+  }
+}
+
+void AdaptivePushProtocol::on_self_killed() {
+  detector_.reset();
+  table_ = AvailabilityTable(self_, config_.availability_floor);
+}
+
+}  // namespace realtor::proto

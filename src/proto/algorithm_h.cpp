@@ -1,0 +1,70 @@
+#include "proto/algorithm_h.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::proto {
+
+AlgorithmH::AlgorithmH(const ProtocolConfig& config)
+    : threshold_(config.help_threshold),
+      alpha_(config.alpha),
+      beta_(config.beta),
+      upper_limit_(config.help_upper_limit),
+      floor_(config.help_interval_floor),
+      timeout_(config.help_timeout),
+      interval_(config.initial_help_interval),
+      // Allow the very first qualifying arrival to send HELP immediately.
+      last_sent_(-kNeverTime) {
+  REALTOR_ASSERT(threshold_ > 0.0);
+  REALTOR_ASSERT(alpha_ > 0.0);
+  REALTOR_ASSERT(beta_ > 0.0 && beta_ < 1.0);
+  REALTOR_ASSERT(upper_limit_ >= interval_);
+  REALTOR_ASSERT(floor_ > 0.0 && floor_ <= interval_);
+  REALTOR_ASSERT(timeout_ > 0.0);
+}
+
+bool AlgorithmH::should_send_help(SimTime now,
+                                  double occupancy_with_task) const {
+  if (occupancy_with_task < threshold_) return false;
+  return now - last_sent_ > interval_;
+}
+
+SimTime AlgorithmH::note_help_sent(SimTime now) {
+  last_sent_ = now;
+  awaiting_ = true;
+  round_rewarded_ = false;
+  ++helps_sent_;
+  return timeout_;
+}
+
+bool AlgorithmH::note_pledge() { return awaiting_; }
+
+void AlgorithmH::note_timeout() {
+  awaiting_ = false;
+  // Fig. 2: grow only while the grown value stays below Upper_limit.
+  const double grown = interval_ + interval_ * alpha_;
+  if (grown < upper_limit_) {
+    interval_ = grown;
+  } else {
+    interval_ = upper_limit_;
+  }
+  ++timeouts_;
+}
+
+void AlgorithmH::note_success() {
+  const double shrunk = interval_ - interval_ * beta_;
+  if (shrunk > floor_) {
+    interval_ = shrunk;
+  } else {
+    interval_ = floor_;
+  }
+  ++rewards_;
+}
+
+bool AlgorithmH::claim_round_reward() {
+  if (!awaiting_ || round_rewarded_) return false;
+  round_rewarded_ = true;
+  note_success();
+  return true;
+}
+
+}  // namespace realtor::proto

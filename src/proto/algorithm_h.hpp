@@ -1,0 +1,87 @@
+// Algorithm H (paper Fig. 2): the adaptive HELP-interval controller.
+//
+//   Whenever a task arrives:
+//     if resource usage would exceed the threshold and
+//        (T_current - T_sent) > HELP_interval:  send HELP; set_timer
+//   Timeout:
+//     if (interval + interval*alpha) < Upper_limit: interval += interval*alpha
+//   Whenever a PLEDGE arrives:
+//     if the timer is not expired: reset_timer
+//     update pledge list
+//     if a node is found for migration:
+//       if (interval - interval*beta) > 0: interval -= interval*beta
+//
+// Interpretation (see ProtocolConfig::reward_policy): "reset_timer"
+// restarts the round-closing timeout, so every HELP round eventually ends
+// in a timeout — the penalty — once the pledge stream dries up; the reward
+// fires when a node found through the list actually receives a migration
+// (default) or once per round on the first usable pledge (alternative).
+// Under overload rewards become rare while every round still pays the
+// penalty, which drives the interval to Upper_limit — the suppression §5
+// credits for REALTOR's low overhead at high load.
+//
+// This class is the pure state machine — no timers, no I/O — so both the
+// discrete-event protocols and the threaded Agile runtime can drive it.
+// The driver owns the actual timer and calls note_timeout() on expiry.
+#pragma once
+
+#include "common/types.hpp"
+#include "proto/config.hpp"
+
+namespace realtor::proto {
+
+class AlgorithmH {
+ public:
+  explicit AlgorithmH(const ProtocolConfig& config);
+
+  /// Trigger test at a task arrival: occupancy (including the arriving
+  /// task) exceeds the threshold AND a full interval elapsed since the
+  /// previous HELP.
+  bool should_send_help(SimTime now, double occupancy_with_task) const;
+
+  /// Records that the driver sent a HELP at `now` and armed the response
+  /// timer. Returns the timeout duration the driver should use.
+  SimTime note_help_sent(SimTime now);
+
+  /// Pledge arrived. Returns true while a round is open — the driver must
+  /// then restart its round-closing timer ("reset_timer" in Fig. 2).
+  bool note_pledge();
+
+  /// The round-closing timer expired: the round is over, penalty (grow
+  /// interval toward Upper_limit).
+  void note_timeout();
+
+  /// A node was found for migration: reward (shrink interval).
+  void note_success();
+
+  /// Applies note_success() at most once per HELP round (the
+  /// kOnFirstUsefulPledge reward policy). Returns whether it fired.
+  bool claim_round_reward();
+
+  double interval() const { return interval_; }
+  SimTime last_help_time() const { return last_sent_; }
+  bool awaiting_response() const { return awaiting_; }
+
+  std::uint64_t helps_sent() const { return helps_sent_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t rewards() const { return rewards_; }
+
+ private:
+  double threshold_;
+  double alpha_;
+  double beta_;
+  double upper_limit_;
+  double floor_;
+  double timeout_;
+
+  double interval_;
+  SimTime last_sent_;
+  bool awaiting_ = false;
+  bool round_rewarded_ = false;
+
+  std::uint64_t helps_sent_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t rewards_ = 0;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,23 @@
+#include "proto/algorithm_p.hpp"
+
+namespace realtor::proto {
+
+AlgorithmP::AlgorithmP(const ProtocolConfig& config)
+    : detector_(config.pledge_threshold) {}
+
+bool AlgorithmP::should_pledge_on_help(double occupancy) const {
+  return occupancy < detector_.threshold();
+}
+
+node::Crossing AlgorithmP::note_status(SimTime now, double occupancy) {
+  below_threshold_.update(now, occupancy < detector_.threshold() ? 1.0 : 0.0);
+  return detector_.update(occupancy);
+}
+
+double AlgorithmP::grant_probability(SimTime now) const {
+  // Before any observation assume fully grantable (a fresh host is empty).
+  if (below_threshold_.empty()) return 1.0;
+  return below_threshold_.average(now);
+}
+
+}  // namespace realtor::proto

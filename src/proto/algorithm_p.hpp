@@ -1,0 +1,44 @@
+// Algorithm P (paper Fig. 3): the pledge policy.
+//
+//   Whenever a HELP message arrives:
+//     if the host has used its resource less than a threshold level:
+//       reply PLEDGE
+//   Whenever the resource availability changes across the threshold level:
+//     reply PLEDGE
+//
+// Like AlgorithmH this is a pure state machine; the driver decides where
+// the unsolicited pledges go (REALTOR: to every community the host is a
+// member of; adaptive PUSH: flooded to the neighbor scope).
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "node/threshold.hpp"
+#include "proto/config.hpp"
+
+namespace realtor::proto {
+
+class AlgorithmP {
+ public:
+  explicit AlgorithmP(const ProtocolConfig& config);
+
+  /// Fig. 3 first rule: pledge in response to HELP iff below threshold.
+  bool should_pledge_on_help(double occupancy) const;
+
+  /// Feeds an occupancy sample at `now`; returns the threshold crossing,
+  /// if any (Fig. 3 second rule fires on kUp as well as kDown — crossing
+  /// up tells organizers we are *no longer* available).
+  node::Crossing note_status(SimTime now, double occupancy);
+
+  /// Long-run fraction of time this host has been below its pledge
+  /// threshold — the "probability of resource grant" field of PLEDGE.
+  double grant_probability(SimTime now) const;
+
+  double threshold() const { return detector_.threshold(); }
+
+ private:
+  node::ThresholdDetector detector_;
+  TimeWeightedStats below_threshold_;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,61 @@
+#include "proto/availability_table.hpp"
+
+#include <algorithm>
+
+namespace realtor::proto {
+
+AvailabilityTable::AvailabilityTable(NodeId self, double availability_floor)
+    : self_(self), floor_(availability_floor) {}
+
+void AvailabilityTable::update(NodeId node, double availability, SimTime now,
+                               std::uint8_t security_level) {
+  entries_[node] = Entry{availability, now, security_level};
+}
+
+void AvailabilityTable::debit(NodeId node, double fraction) {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) return;  // never-heard peers are not candidates
+  it->second.availability -= fraction;
+  if (it->second.availability < 0.0) it->second.availability = 0.0;
+}
+
+void AvailabilityTable::invalidate(NodeId node) {
+  entries_[node].availability = 0.0;
+}
+
+double AvailabilityTable::availability(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.availability;
+}
+
+std::vector<NodeId> AvailabilityTable::candidates(
+    const std::vector<NodeId>& peers, RngStream& rng, double min_availability,
+    std::uint8_t min_security) const {
+  struct Ranked {
+    NodeId node;
+    double availability;
+    std::uint64_t tie;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(peers.size());
+  for (const NodeId peer : peers) {
+    if (peer == self_) continue;
+    const auto it = entries_.find(peer);
+    if (it == entries_.end()) continue;  // never heard: not a candidate
+    const Entry& entry = it->second;
+    if (entry.availability <= floor_) continue;
+    if (entry.availability < min_availability) continue;
+    if (entry.security_level < min_security) continue;
+    ranked.push_back(Ranked{peer, entry.availability, rng.next_u64()});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.availability != b.availability) return a.availability > b.availability;
+    return a.tie < b.tie;
+  });
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(r.node);
+  return out;
+}
+
+}  // namespace realtor::proto

@@ -1,0 +1,62 @@
+// Last-heard availability table for the PUSH baselines.
+//
+// Unlike the pull-side PledgeList, entries never expire: under PUSH the
+// absence of a new advertisement means "no status change", so the last
+// value stays authoritative. A peer we have never heard from is *not* a
+// candidate — the schemes only know what was actually advertised. (The
+// no-expiry property is also the push schemes' weakness under attack: a
+// dead host stops advertising and keeps its stale, possibly rosy entry —
+// the survivability ablation exercises exactly that.)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace realtor::proto {
+
+class AvailabilityTable {
+ public:
+  /// `self`: this node, excluded from candidates. `availability_floor`:
+  /// entries at or below this are not candidates.
+  AvailabilityTable(NodeId self, double availability_floor);
+
+  /// Records an advertisement.
+  void update(NodeId node, double availability, SimTime now,
+              std::uint8_t security_level = 255);
+
+  /// Locally debits availability after migrating work to `node`.
+  void debit(NodeId node, double fraction);
+
+  /// Drops to zero availability (failed negotiation showed the entry is
+  /// wrong); recovers at the peer's next advertisement.
+  void invalidate(NodeId node);
+
+  /// Availability of `node`: last advertised, or 0.0 if never heard from.
+  double availability(NodeId node) const;
+
+  bool heard_from(NodeId node) const { return entries_.count(node) > 0; }
+
+  /// Candidates among `peers` matching the requirements, best
+  /// availability first, random tie-break. Security of never-heard peers
+  /// is unknown, and they are not candidates anyway.
+  std::vector<NodeId> candidates(const std::vector<NodeId>& peers,
+                                 RngStream& rng, double min_availability = 0.0,
+                                 std::uint8_t min_security = 0) const;
+
+ private:
+  struct Entry {
+    double availability = 1.0;
+    SimTime updated = 0.0;
+    std::uint8_t security_level = 255;
+  };
+
+  NodeId self_;
+  double floor_;
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace realtor::proto

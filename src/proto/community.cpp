@@ -1,0 +1,67 @@
+#include "proto/community.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::proto {
+
+CommunityMembership::CommunityMembership(double ttl,
+                                         std::uint32_t max_communities)
+    : ttl_(ttl), max_(max_communities) {
+  REALTOR_ASSERT(ttl_ > 0.0);
+}
+
+bool CommunityMembership::note_refresh_answered(NodeId organizer,
+                                                SimTime now) {
+  const auto it = joined_.find(organizer);
+  if (it != joined_.end()) {
+    it->second = now;
+    return true;
+  }
+  prune(now);
+  if (max_ != 0 && joined_.size() >= max_) {
+    // Budget full: hand the slot to this (most recent) solicitor by
+    // evicting the membership we refreshed longest ago.
+    auto stalest = joined_.begin();
+    for (auto cur = joined_.begin(); cur != joined_.end(); ++cur) {
+      if (cur->second < stalest->second) stalest = cur;
+    }
+    if (stalest->second > now) return false;
+    joined_.erase(stalest);
+  }
+  joined_.emplace(organizer, now);
+  return true;
+}
+
+bool CommunityMembership::is_member_of(NodeId organizer, SimTime now) const {
+  const auto it = joined_.find(organizer);
+  return it != joined_.end() && now - it->second <= ttl_;
+}
+
+std::vector<NodeId> CommunityMembership::active_organizers(SimTime now) const {
+  std::vector<NodeId> out;
+  out.reserve(joined_.size());
+  for (const auto& [organizer, stamp] : joined_) {
+    if (now - stamp <= ttl_) out.push_back(organizer);
+  }
+  return out;
+}
+
+std::uint32_t CommunityMembership::count(SimTime now) const {
+  std::uint32_t live = 0;
+  for (const auto& [organizer, stamp] : joined_) {
+    if (now - stamp <= ttl_) ++live;
+  }
+  return live;
+}
+
+void CommunityMembership::prune(SimTime now) {
+  for (auto it = joined_.begin(); it != joined_.end();) {
+    if (now - it->second > ttl_) {
+      it = joined_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace realtor::proto

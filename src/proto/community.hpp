@@ -1,0 +1,53 @@
+// Member-side community bookkeeping.
+//
+// §4: "Each host usually owns one community and is a member of several
+// other communities. The membership ... is valid only for the interval
+// between two consecutive refresh messages" — a HELP from the organizer is
+// the refresh; memberships lapse silently when refreshes stop, and a
+// disbanding community needs no teardown messages.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::proto {
+
+class CommunityMembership {
+ public:
+  /// `ttl`: membership lifetime since the last refresh we answered.
+  /// `max_communities`: 0 = unlimited.
+  CommunityMembership(double ttl, std::uint32_t max_communities);
+
+  /// Records that we answered organizer `organizer`'s HELP at `now` and
+  /// (re)joined its community. When the membership budget is full the
+  /// stalest membership is evicted — the budget goes to the organizers
+  /// who solicited most recently, i.e. the ones that actually need our
+  /// status updates. Returns false only if eviction was impossible (the
+  /// incumbent memberships are all fresher than `now`, which cannot
+  /// happen with a monotone clock).
+  bool note_refresh_answered(NodeId organizer, SimTime now);
+
+  /// True if our membership in `organizer`'s community is still live.
+  bool is_member_of(NodeId organizer, SimTime now) const;
+
+  /// Organizers whose communities we currently belong to.
+  std::vector<NodeId> active_organizers(SimTime now) const;
+
+  /// Live membership count.
+  std::uint32_t count(SimTime now) const;
+
+  /// Drops expired memberships.
+  void prune(SimTime now);
+
+  void clear() { joined_.clear(); }
+
+ private:
+  double ttl_;
+  std::uint32_t max_;
+  std::unordered_map<NodeId, SimTime> joined_;  // organizer -> last refresh
+};
+
+}  // namespace realtor::proto

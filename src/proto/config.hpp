@@ -1,0 +1,77 @@
+// Tunables for all five discovery protocols, named after the paper's
+// parameters. Defaults reproduce the §5 simulation configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace realtor::proto {
+
+/// When Algorithm H's reward ("a node is found for migration") fires. The
+/// paper's Fig. 2 pseudocode is ambiguous; both readings are implemented
+/// and compared in the algorithm-H ablation bench.
+enum class HelpRewardPolicy {
+  /// Shrink when a migration actually lands on a discovered node — the
+  /// reading that reproduces the paper's overhead curves (under overload
+  /// rounds keep closing with penalties, pinning the interval at
+  /// Upper_limit exactly as §5 describes).
+  kOnMigrationSuccess,
+  /// Shrink once per HELP round, on the first pledge that yields a usable
+  /// candidate.
+  kOnFirstUsefulPledge,
+};
+
+struct ProtocolConfig {
+  // --- Algorithm H (pull side) -------------------------------------------
+  /// Queue-occupancy level above which an arriving task triggers HELP
+  /// ("Algorithm H 0.9" in §5).
+  double help_threshold = 0.9;
+  /// Starting HELP_interval, seconds.
+  double initial_help_interval = 1.0;
+  /// Upper_limit in Fig. 2 — also the adaptive-PULL time window (100).
+  double help_upper_limit = 100.0;
+  /// Floor so the multiplicative reward cannot collapse the interval to 0
+  /// (the paper only requires it to stay positive).
+  double help_interval_floor = 0.1;
+  /// Penalty growth factor (interval += interval * alpha on timeout).
+  double alpha = 1.0;
+  /// Reward shrink factor (interval -= interval * beta on success).
+  double beta = 0.5;
+  /// set_timer duration in Fig. 2: the round-closing timeout. Every PLEDGE
+  /// restarts it ("if the corresponding timer is not expired, reset_timer");
+  /// when it finally fires the round is over and the penalty applies.
+  double help_timeout = 1.0;
+  HelpRewardPolicy reward_policy = HelpRewardPolicy::kOnMigrationSuccess;
+
+  // --- Algorithm P (push side) -------------------------------------------
+  /// Occupancy level below which a host pledges ("Algorithm P 0.9").
+  double pledge_threshold = 0.9;
+  /// Maximum communities a host joins (0 = unlimited). §4 lets hosts join
+  /// "as many communities as [they are] able to *without over-allocating
+  /// [their] spare resources*" — each membership costs an unsolicited
+  /// PLEDGE per threshold crossing, so the default budget is small; the
+  /// community-size ablation sweeps this.
+  std::uint32_t max_communities = 8;
+
+  // --- Pure PUSH -----------------------------------------------------------
+  /// Periodic dissemination interval ("push interval = 1").
+  double push_interval = 1.0;
+
+  // --- Gossip baseline (modern comparison) ---------------------------------
+  /// Push-pull anti-entropy round period (SWIM/memberlist-style).
+  double gossip_interval = 1.0;
+  /// Peers contacted per round.
+  std::uint32_t gossip_fanout = 2;
+
+  // --- Soft state ----------------------------------------------------------
+  /// Pledge entries and community memberships expire this many seconds
+  /// after the last refresh. Matches the organizer's maximum refresh gap
+  /// (Upper_limit).
+  double soft_state_ttl = 100.0;
+  /// Candidates whose advertised availability is at or below this are not
+  /// usable (1 - pledge_threshold: the pledger itself would not pledge).
+  double availability_floor = 0.1;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,140 @@
+// The common interface of the five resource-discovery protocols.
+//
+// One instance runs per host. The surrounding harness (discrete-event
+// simulation or the threaded Agile runtime) owns the Host and the
+// Transport; the protocol reacts to local status changes, task arrivals
+// and incoming messages, and answers migration-candidate queries from the
+// admission controller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "proto/config.hpp"
+#include "proto/message.hpp"
+#include "proto/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::proto {
+
+/// Environment handed to every protocol instance. Non-owning: the harness
+/// guarantees these outlive the protocol.
+struct ProtocolEnv {
+  sim::Engine* engine = nullptr;
+  const net::Topology* topology = nullptr;
+  Transport* transport = nullptr;
+  /// Occupancy of this protocol's own host, in [0, 1].
+  std::function<double()> local_occupancy;
+  /// Security level of this protocol's own host (255 = unrestricted;
+  /// only set by multi-resource harnesses).
+  std::function<std::uint8_t()> local_security;
+  /// Root seed; per-node tie-break streams derive from it.
+  std::uint64_t seed = 0;
+};
+
+/// Requirements of the task a candidate must be able to take (all
+/// defaults reproduce the CPU-only behaviour: any usable entry matches).
+struct CandidateQuery {
+  /// Minimum advertised free fraction; the protocol still applies its
+  /// own availability floor on top.
+  double min_availability = 0.0;
+  /// Required host security clearance.
+  std::uint8_t min_security = 0;
+};
+
+class DiscoveryProtocol {
+ public:
+  DiscoveryProtocol(NodeId self, const ProtocolConfig& config,
+                    ProtocolEnv env);
+  virtual ~DiscoveryProtocol() = default;
+  DiscoveryProtocol(const DiscoveryProtocol&) = delete;
+  DiscoveryProtocol& operator=(const DiscoveryProtocol&) = delete;
+
+  NodeId self() const { return self_; }
+  const ProtocolConfig& config() const { return config_; }
+  virtual const char* name() const = 0;
+
+  /// Begins autonomous behaviour (periodic advertisement etc.).
+  virtual void start() {}
+
+  /// The host's backlog changed (admission, completion, migration in/out).
+  virtual void on_status_change(double occupancy) = 0;
+
+  /// A task arrived at this host. `occupancy_with_task` includes the new
+  /// task's demand and may exceed 1 when the task does not fit — this is
+  /// the "resource usage would exceed a threshold level" signal of
+  /// Algorithm H. Called *after* the admission/migration decision, so pull
+  /// protocols act on information gathered before the request (the paper's
+  /// "untimeliness" of PULL).
+  virtual void on_task_arrival(double occupancy_with_task) = 0;
+
+  /// A protocol message arrived from `from`.
+  virtual void on_message(NodeId from, const Message& msg) = 0;
+
+  /// Hosts able to receive a migrating task with requirements `query`,
+  /// best first. May mutate internal soft state (expiry sweeps, tie-break
+  /// draws).
+  virtual std::vector<NodeId> migration_candidates(
+      const CandidateQuery& query) = 0;
+
+  /// Unconstrained query (the paper's CPU-only experiments).
+  std::vector<NodeId> migration_candidates() {
+    return migration_candidates(CandidateQuery{});
+  }
+
+  /// Feedback from admission control: a migration of `fraction` of the
+  /// target's capacity to `target` succeeded or was aborted.
+  virtual void on_migration_result(NodeId target, double fraction,
+                                   bool success) = 0;
+
+  /// Emergency solicitation: a resource monitor or security enforcer (§3)
+  /// is about to force migrations off this host — gather fresh candidate
+  /// information *now*, bypassing normal rate gates. Push-based schemes
+  /// have no solicitation primitive, so the default is a no-op.
+  virtual void solicit() {}
+
+  /// This host was killed: drop all soft state (it restarts cold).
+  virtual void on_self_killed() {}
+
+  /// This host recovered from a kill and rejoins the system.
+  virtual void on_self_restored() {}
+
+ protected:
+  SimTime now() const { return env_.engine->now(); }
+  double local_occupancy() const { return env_.local_occupancy(); }
+  std::uint8_t local_security() const {
+    return env_.local_security ? env_.local_security() : 255;
+  }
+
+  /// Alive overlay nodes other than self — the neighbor scope (§5: the
+  /// topology "represents the limited scope of neighbors ... for all five
+  /// resource discovery schemes").
+  std::vector<NodeId> peers() const;
+
+  NodeId self_;
+  ProtocolConfig config_;
+  ProtocolEnv env_;
+  RngStream rng_;  // tie-breaks only; never feeds workload randomness
+};
+
+inline DiscoveryProtocol::DiscoveryProtocol(NodeId self,
+                                            const ProtocolConfig& config,
+                                            ProtocolEnv env)
+    : self_(self),
+      config_(config),
+      env_(std::move(env)),
+      rng_(env_.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1)), "proto-ties") {}
+
+inline std::vector<NodeId> DiscoveryProtocol::peers() const {
+  std::vector<NodeId> out;
+  for (const NodeId n : env_.topology->alive_nodes()) {
+    if (n != self_) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace realtor::proto

@@ -1,0 +1,82 @@
+#include "proto/factory.hpp"
+
+#include "common/assert.hpp"
+#include "proto/adaptive_pull.hpp"
+#include "proto/adaptive_push.hpp"
+#include "proto/gossip.hpp"
+#include "proto/pure_pull.hpp"
+#include "proto/pure_push.hpp"
+#include "proto/realtor.hpp"
+
+namespace realtor::proto {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPurePush:
+      return "pure-push";
+    case ProtocolKind::kAdaptivePush:
+      return "adaptive-push";
+    case ProtocolKind::kPurePull:
+      return "pure-pull";
+    case ProtocolKind::kAdaptivePull:
+      return "adaptive-pull";
+    case ProtocolKind::kRealtor:
+      return "realtor";
+    case ProtocolKind::kGossip:
+      return "gossip-pushpull";
+  }
+  return "?";
+}
+
+const char* paper_label(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPurePush:
+      return "Push-1";
+    case ProtocolKind::kAdaptivePush:
+      return "Push-.9";
+    case ProtocolKind::kPurePull:
+      return "Pull-.9";
+    case ProtocolKind::kAdaptivePull:
+      return "Pull-100";
+    case ProtocolKind::kRealtor:
+      return "REALTOR-100";
+    case ProtocolKind::kGossip:
+      return "Gossip-PP";
+  }
+  return "?";
+}
+
+std::optional<ProtocolKind> parse_protocol(const std::string& text) {
+  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+    if (text == to_string(kind) || text == paper_label(kind)) return kind;
+  }
+  if (text == "REALTOR") return ProtocolKind::kRealtor;
+  if (text == "gossip") return ProtocolKind::kGossip;
+  return std::nullopt;
+}
+
+std::unique_ptr<DiscoveryProtocol> make_protocol(ProtocolKind kind,
+                                                 NodeId self,
+                                                 const ProtocolConfig& config,
+                                                 ProtocolEnv env) {
+  switch (kind) {
+    case ProtocolKind::kPurePush:
+      return std::make_unique<PurePushProtocol>(self, config, std::move(env));
+    case ProtocolKind::kAdaptivePush:
+      return std::make_unique<AdaptivePushProtocol>(self, config,
+                                                    std::move(env));
+    case ProtocolKind::kPurePull:
+      return std::make_unique<PurePullProtocol>(self, config, std::move(env));
+    case ProtocolKind::kAdaptivePull:
+      return std::make_unique<AdaptivePullProtocol>(self, config,
+                                                    std::move(env));
+    case ProtocolKind::kRealtor:
+      return std::make_unique<RealtorProtocol>(self, config, std::move(env));
+    case ProtocolKind::kGossip:
+      return std::make_unique<GossipProtocol>(self, config, std::move(env));
+  }
+  REALTOR_ASSERT_MSG(false, "unknown protocol kind");
+  return nullptr;
+}
+
+}  // namespace realtor::proto

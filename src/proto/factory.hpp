@@ -1,0 +1,48 @@
+// Protocol factory + the paper's curve labels.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "proto/discovery_protocol.hpp"
+
+namespace realtor::proto {
+
+enum class ProtocolKind {
+  kPurePush,      // "Push-1"
+  kAdaptivePush,  // "Push-.9"
+  kPurePull,      // "Pull-.9"
+  kAdaptivePull,  // "Pull-100"
+  kRealtor,       // "REALTOR-100"
+  kGossip,        // "Gossip-PP" (modern baseline, not in the paper)
+};
+
+/// The paper's five curves (Figs. 5-8).
+inline constexpr ProtocolKind kAllProtocolKinds[] = {
+    ProtocolKind::kPurePull, ProtocolKind::kPurePush,
+    ProtocolKind::kAdaptivePush, ProtocolKind::kAdaptivePull,
+    ProtocolKind::kRealtor};
+
+/// Paper protocols plus the modern gossip baseline.
+inline constexpr ProtocolKind kExtendedProtocolKinds[] = {
+    ProtocolKind::kPurePull,     ProtocolKind::kPurePush,
+    ProtocolKind::kAdaptivePush, ProtocolKind::kAdaptivePull,
+    ProtocolKind::kRealtor,      ProtocolKind::kGossip};
+
+/// Machine-readable name ("realtor", "pure-push", ...).
+const char* to_string(ProtocolKind kind);
+
+/// The curve label used in the paper's figures ("REALTOR-100", "Push-1",
+/// "Push-.9", "Pull-.9", "Pull-100").
+const char* paper_label(ProtocolKind kind);
+
+/// Parses either naming scheme; nullopt on junk.
+std::optional<ProtocolKind> parse_protocol(const std::string& text);
+
+std::unique_ptr<DiscoveryProtocol> make_protocol(ProtocolKind kind,
+                                                 NodeId self,
+                                                 const ProtocolConfig& config,
+                                                 ProtocolEnv env);
+
+}  // namespace realtor::proto

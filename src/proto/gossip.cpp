@@ -1,0 +1,146 @@
+#include "proto/gossip.hpp"
+
+#include <algorithm>
+
+namespace realtor::proto {
+
+GossipProtocol::GossipProtocol(NodeId self, const ProtocolConfig& config,
+                               ProtocolEnv env)
+    : DiscoveryProtocol(self, config, std::move(env)),
+      gossiper_(*env_.engine, config.gossip_interval,
+                [this] { gossip_round(); }) {
+  refresh_self_entry();
+}
+
+void GossipProtocol::start() { gossiper_.start(); }
+
+void GossipProtocol::refresh_self_entry() {
+  DigestEntry& self_entry = digest_[self_];
+  self_entry.node = self_;
+  self_entry.availability = 1.0 - local_occupancy();
+  self_entry.version = ++self_version_;
+  self_entry.security_level = local_security();
+}
+
+void GossipProtocol::on_status_change(double occupancy) {
+  DigestEntry& self_entry = digest_[self_];
+  self_entry.node = self_;
+  self_entry.availability = 1.0 - occupancy;
+  self_entry.version = ++self_version_;
+  self_entry.security_level = local_security();
+}
+
+void GossipProtocol::on_task_arrival(double /*occupancy_with_task*/) {
+  // Gossip has no demand-driven path; dissemination is purely periodic.
+}
+
+std::vector<DigestEntry> GossipProtocol::snapshot_digest() const {
+  std::vector<DigestEntry> out;
+  out.reserve(digest_.size());
+  for (const auto& [node, entry] : digest_) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+void GossipProtocol::send_digest(NodeId to, bool reply) {
+  GossipMsg msg;
+  msg.origin = self_;
+  msg.reply = reply;
+  msg.digest = snapshot_digest();
+  env_.transport->unicast(self_, to, Message{msg});
+}
+
+void GossipProtocol::gossip_round() {
+  if (!env_.topology->alive(self_)) return;
+  std::vector<NodeId> alive_peers = peers();
+  if (alive_peers.empty()) return;
+  const std::uint32_t fanout = std::min<std::uint32_t>(
+      config_.gossip_fanout,
+      static_cast<std::uint32_t>(alive_peers.size()));
+  // Partial Fisher-Yates: the first `fanout` entries become this round's
+  // targets.
+  for (std::uint32_t i = 0; i < fanout; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_index(
+                alive_peers.size() - i));
+    std::swap(alive_peers[i], alive_peers[j]);
+    send_digest(alive_peers[i], /*reply=*/false);
+  }
+}
+
+void GossipProtocol::merge(const std::vector<DigestEntry>& digest) {
+  for (const DigestEntry& incoming : digest) {
+    if (incoming.node == self_) continue;  // we own our entry
+    DigestEntry& local = digest_[incoming.node];
+    if (local.node == kInvalidNode || incoming.version > local.version) {
+      local = incoming;
+    }
+  }
+}
+
+void GossipProtocol::on_message(NodeId from, const Message& msg) {
+  const auto* gossip = std::get_if<GossipMsg>(&msg);
+  if (gossip == nullptr) return;  // HELP/PLEDGE/advert: not our scheme
+  merge(gossip->digest);
+  if (!gossip->reply && env_.topology->alive(self_)) {
+    // Pull half of push-pull: answer with our (just merged) digest.
+    send_digest(from, /*reply=*/true);
+  }
+}
+
+std::vector<NodeId> GossipProtocol::migration_candidates(
+    const CandidateQuery& query) {
+  struct Ranked {
+    NodeId node;
+    double availability;
+    std::uint64_t tie;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(digest_.size());
+  for (const auto& [node, entry] : digest_) {
+    if (node == self_ || !env_.topology->alive(node)) continue;
+    if (entry.availability <= config_.availability_floor) continue;
+    if (entry.availability < query.min_availability) continue;
+    if (entry.security_level < query.min_security) continue;
+    ranked.push_back(Ranked{node, entry.availability, rng_.next_u64()});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.availability != b.availability) return a.availability > b.availability;
+    return a.tie < b.tie;
+  });
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(r.node);
+  return out;
+}
+
+void GossipProtocol::on_migration_result(NodeId target, double fraction,
+                                         bool success) {
+  const auto it = digest_.find(target);
+  if (it == digest_.end()) return;
+  if (success) {
+    it->second.availability =
+        std::max(0.0, it->second.availability - fraction);
+  } else {
+    it->second.availability = 0.0;  // corrected by the next fresher entry
+  }
+}
+
+void GossipProtocol::on_self_killed() {
+  gossiper_.stop();
+  digest_.clear();
+  refresh_self_entry();
+}
+
+std::uint64_t GossipProtocol::version_of(NodeId node) const {
+  const auto it = digest_.find(node);
+  return it == digest_.end() ? 0 : it->second.version;
+}
+
+double GossipProtocol::availability_of(NodeId node) const {
+  const auto it = digest_.find(node);
+  return it == digest_.end() ? 0.0 : it->second.availability;
+}
+
+}  // namespace realtor::proto

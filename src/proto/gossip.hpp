@@ -1,0 +1,57 @@
+// Push-pull gossip baseline ("Gossip-PP") — a modern comparison point.
+//
+// Not in the paper: this is the style of availability dissemination that
+// later systems (SWIM, memberlist, Serf, Consul) made standard, included
+// so the evaluation can situate REALTOR against it. Every
+// `gossip_interval` a node picks `gossip_fanout` random alive peers and
+// sends its full digest (per-origin versioned availability records); the
+// peer merges newer entries and replies with its own digest (the pull
+// half). Information spreads in O(log N) rounds with per-node traffic
+// independent of demand — like pure PUSH it pays whether or not anyone
+// needs to migrate, but over cheap unicasts instead of floods.
+#pragma once
+
+#include <unordered_map>
+
+#include "node/threshold.hpp"
+#include "proto/discovery_protocol.hpp"
+#include "sim/process.hpp"
+
+namespace realtor::proto {
+
+class GossipProtocol final : public DiscoveryProtocol {
+ public:
+  GossipProtocol(NodeId self, const ProtocolConfig& config, ProtocolEnv env);
+
+  const char* name() const override { return "gossip-pushpull"; }
+
+  void start() override;
+  void on_status_change(double occupancy) override;
+  void on_task_arrival(double occupancy_with_task) override;
+  void on_message(NodeId from, const Message& msg) override;
+  using DiscoveryProtocol::migration_candidates;
+  std::vector<NodeId> migration_candidates(
+      const CandidateQuery& query) override;
+  void on_migration_result(NodeId target, double fraction,
+                           bool success) override;
+  void on_self_killed() override;
+  void on_self_restored() override { gossiper_.start(); }
+
+  // Introspection for tests.
+  std::uint64_t version_of(NodeId node) const;
+  double availability_of(NodeId node) const;
+  std::size_t digest_size() const { return digest_.size(); }
+
+ private:
+  void gossip_round();
+  void refresh_self_entry();
+  std::vector<DigestEntry> snapshot_digest() const;
+  void merge(const std::vector<DigestEntry>& digest);
+  void send_digest(NodeId to, bool reply);
+
+  std::unordered_map<NodeId, DigestEntry> digest_;  // keyed by entry.node
+  std::uint64_t self_version_ = 0;
+  sim::PeriodicProcess gossiper_;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,70 @@
+// Wire formats of the community protocol (§4) plus the PUSH baselines'
+// advertisement. Field names follow the paper's message definitions.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::proto {
+
+/// "HELP: Hostid, Type(help), number of members, degree of demand."
+/// Flooded over the overlay when the organizer needs migration targets.
+struct HelpMsg {
+  NodeId origin = kInvalidNode;
+  /// Current community size known to the organizer.
+  std::uint32_t member_count = 0;
+  /// Degree of demand: how far occupancy is above the HELP threshold,
+  /// in [0, 1].
+  double urgency = 0.0;
+};
+
+/// "PLEDGE: Hostid, Type(pledge), Resource availability (degree), number of
+/// communities, probabilities of resource grant when requested."
+/// Unicast back to the community organizer.
+struct PledgeMsg {
+  NodeId pledger = kInvalidNode;
+  /// Free fraction of the pledger's binding resource: 1 - occupancy.
+  double availability = 0.0;
+  /// Communities the pledger currently belongs to.
+  std::uint32_t community_count = 0;
+  /// Long-run fraction of time the pledger has been below its pledge
+  /// threshold — an estimate of the probability a grant succeeds.
+  double grant_probability = 0.0;
+  /// Security level the pledger runs at (multi-resource extension; 255 =
+  /// unrestricted, the CPU-only default).
+  std::uint8_t security_level = 255;
+};
+
+/// Availability advertisement used by the PUSH baselines (flooded).
+struct PushAdvertMsg {
+  NodeId origin = kInvalidNode;
+  double availability = 0.0;
+  /// Security level of the advertising host (see PledgeMsg).
+  std::uint8_t security_level = 255;
+};
+
+/// One entry of a gossip digest (modern anti-entropy baseline, in the
+/// style of SWIM / memberlist: per-origin versioned availability records
+/// merged last-writer-wins).
+struct DigestEntry {
+  NodeId node = kInvalidNode;
+  double availability = 0.0;
+  /// Monotone per-origin version; higher wins on merge.
+  std::uint64_t version = 0;
+  std::uint8_t security_level = 255;
+};
+
+/// Push-pull gossip exchange: `origin` shares its digest with one peer;
+/// `reply` distinguishes the pull half (replies are not re-answered).
+struct GossipMsg {
+  NodeId origin = kInvalidNode;
+  bool reply = false;
+  std::vector<DigestEntry> digest;
+};
+
+using Message = std::variant<HelpMsg, PledgeMsg, PushAdvertMsg, GossipMsg>;
+
+}  // namespace realtor::proto

@@ -1,0 +1,86 @@
+#include "proto/pledge_list.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace realtor::proto {
+
+PledgeList::PledgeList(double ttl, double availability_floor)
+    : ttl_(ttl), floor_(availability_floor) {
+  REALTOR_ASSERT(ttl_ > 0.0);
+}
+
+void PledgeList::update(NodeId node, double availability,
+                        double grant_probability, SimTime now,
+                        std::uint8_t security_level) {
+  entries_[node] =
+      PledgeEntry{availability, grant_probability, now, security_level};
+}
+
+void PledgeList::debit(NodeId node, double fraction) {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) return;
+  it->second.availability -= fraction;
+  if (it->second.availability < 0.0) it->second.availability = 0.0;
+}
+
+void PledgeList::remove(NodeId node) { entries_.erase(node); }
+
+void PledgeList::expire(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.updated > ttl_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<PledgeEntry> PledgeList::get(NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t PledgeList::size(SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [node, entry] : entries_) {
+    if (now - entry.updated <= ttl_) ++count;
+  }
+  return count;
+}
+
+bool PledgeList::usable(const PledgeEntry& e, SimTime now,
+                        const PledgeQuery& query) const {
+  if ((now - e.updated) > ttl_) return false;
+  if (e.availability <= floor_) return false;
+  if (e.availability < query.min_availability) return false;
+  return e.security_level >= query.min_security;
+}
+
+std::vector<NodeId> PledgeList::candidates(SimTime now, RngStream& rng,
+                                           const PledgeQuery& query) const {
+  struct Ranked {
+    NodeId node;
+    double availability;
+    std::uint64_t tie;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [node, entry] : entries_) {
+    if (usable(entry, now, query)) {
+      ranked.push_back(Ranked{node, entry.availability, rng.next_u64()});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.availability != b.availability) return a.availability > b.availability;
+    return a.tie < b.tie;
+  });
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(r.node);
+  return out;
+}
+
+}  // namespace realtor::proto

@@ -1,0 +1,81 @@
+// Soft-state list of hosts that pledged resources to this organizer.
+//
+// §3: "REALTOR's objective is to maintain a list of hosts with their
+// resource status, so the admission control can be very light-weight."
+// Entries are refreshed by PLEDGE messages and silently expire after a TTL
+// — the statelessness that makes the protocol idempotent and fault
+// tolerant (§4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace realtor::proto {
+
+struct PledgeEntry {
+  double availability = 0.0;
+  double grant_probability = 0.0;
+  SimTime updated = 0.0;
+  /// Pledger's security clearance (255 = unrestricted).
+  std::uint8_t security_level = 255;
+};
+
+/// Candidate requirements (mirrors proto::CandidateQuery without the
+/// header dependency).
+struct PledgeQuery {
+  double min_availability = 0.0;
+  std::uint8_t min_security = 0;
+};
+
+class PledgeList {
+ public:
+  /// `ttl`: entry lifetime since last refresh. `availability_floor`:
+  /// entries at or below this availability are never candidates.
+  PledgeList(double ttl, double availability_floor);
+
+  /// Inserts or refreshes an entry (idempotent: replaying the same pledge
+  /// leaves identical state).
+  void update(NodeId node, double availability, double grant_probability,
+              SimTime now, std::uint8_t security_level = 255);
+
+  /// Locally debits availability after sending `fraction` of the target's
+  /// capacity its way, so consecutive migrations do not dog-pile on one
+  /// pledger before its next refresh.
+  void debit(NodeId node, double fraction);
+
+  /// Drops an entry (failed negotiation revealed it stale).
+  void remove(NodeId node);
+
+  /// Removes entries older than the TTL.
+  void expire(SimTime now);
+
+  bool contains(NodeId node) const { return entries_.count(node) > 0; }
+  std::optional<PledgeEntry> get(NodeId node) const;
+
+  /// Live entries at `now`, including unusable ones.
+  std::size_t size(SimTime now) const;
+
+  /// Usable candidates matching `query`, best availability first; ties
+  /// broken by `rng` so organizers do not all herd onto the same pledger.
+  std::vector<NodeId> candidates(SimTime now, RngStream& rng,
+                                 const PledgeQuery& query = {}) const;
+
+  double ttl() const { return ttl_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  bool usable(const PledgeEntry& e, SimTime now,
+              const PledgeQuery& query) const;
+
+  double ttl_;
+  double floor_;
+  std::unordered_map<NodeId, PledgeEntry> entries_;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,85 @@
+#include "proto/pure_pull.hpp"
+
+#include <algorithm>
+
+namespace realtor::proto {
+
+PurePullProtocol::PurePullProtocol(NodeId self, const ProtocolConfig& config,
+                                   ProtocolEnv env)
+    : DiscoveryProtocol(self, config, std::move(env)),
+      responder_(config),
+      pledge_list_(config.soft_state_ttl, config.availability_floor) {}
+
+void PurePullProtocol::on_status_change(double occupancy) {
+  // Feed the grant-probability estimator; pure PULL sends nothing
+  // unsolicited, so the crossing result is discarded.
+  responder_.note_status(now(), occupancy);
+}
+
+void PurePullProtocol::on_task_arrival(double occupancy_with_task) {
+  if (!env_.topology->alive(self_)) return;
+  if (occupancy_with_task < config_.help_threshold) return;
+  send_help(
+      std::min(1.0, std::max(0.0, occupancy_with_task - config_.help_threshold)));
+}
+
+void PurePullProtocol::solicit() {
+  if (!env_.topology->alive(self_)) return;
+  send_help(1.0);
+}
+
+void PurePullProtocol::send_help(double urgency) {
+  HelpMsg help;
+  help.origin = self_;
+  help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
+  help.urgency = urgency;
+  env_.transport->flood(self_, Message{help});
+  ++helps_sent_;
+}
+
+void PurePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  if (const auto* help = std::get_if<HelpMsg>(&msg)) {
+    handle_help(*help);
+  } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
+    handle_pledge(*pledge);
+  }
+}
+
+void PurePullProtocol::handle_help(const HelpMsg& help) {
+  if (!env_.topology->alive(self_)) return;
+  const double occupancy = local_occupancy();
+  if (!responder_.should_pledge_on_help(occupancy)) return;
+  PledgeMsg pledge;
+  pledge.pledger = self_;
+  pledge.availability = 1.0 - occupancy;
+  pledge.community_count = 0;  // pure PULL keeps no membership state
+  pledge.grant_probability = responder_.grant_probability(now());
+  pledge.security_level = local_security();
+  env_.transport->unicast(self_, help.origin, Message{pledge});
+}
+
+void PurePullProtocol::handle_pledge(const PledgeMsg& pledge) {
+  pledge_list_.update(pledge.pledger, pledge.availability,
+                      pledge.grant_probability, now(),
+                      pledge.security_level);
+}
+
+std::vector<NodeId> PurePullProtocol::migration_candidates(
+    const CandidateQuery& query) {
+  pledge_list_.expire(now());
+  return pledge_list_.candidates(
+      now(), rng_, PledgeQuery{query.min_availability, query.min_security});
+}
+
+void PurePullProtocol::on_migration_result(NodeId target, double fraction,
+                                           bool success) {
+  if (success) {
+    pledge_list_.debit(target, fraction);
+  } else {
+    pledge_list_.remove(target);
+  }
+}
+
+void PurePullProtocol::on_self_killed() { pledge_list_.clear(); }
+
+}  // namespace realtor::proto

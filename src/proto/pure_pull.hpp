@@ -1,0 +1,47 @@
+// Pure PULL baseline ("Pull-.9").
+//
+// §4: "Each host solicits PLEDGE from its community members whenever 1) a
+// task arrives and 2) the resource usage level is beyond a threshold
+// level. ... this scheme generates HELP messages unlimitedly (without
+// Upper_limit in Algorithm H) as long as resource usage is above the
+// threshold level." Responders pledge exactly once per HELP. Under
+// overload almost nobody can pledge, so HELP floods burn bandwidth —
+// the failure mode Fig. 6 shows as the linearly growing curve.
+#pragma once
+
+#include "proto/algorithm_p.hpp"
+#include "proto/discovery_protocol.hpp"
+#include "proto/pledge_list.hpp"
+
+namespace realtor::proto {
+
+class PurePullProtocol final : public DiscoveryProtocol {
+ public:
+  PurePullProtocol(NodeId self, const ProtocolConfig& config, ProtocolEnv env);
+
+  const char* name() const override { return "pure-pull"; }
+
+  void on_status_change(double occupancy) override;
+  void on_task_arrival(double occupancy_with_task) override;
+  void on_message(NodeId from, const Message& msg) override;
+  using DiscoveryProtocol::migration_candidates;
+  std::vector<NodeId> migration_candidates(
+      const CandidateQuery& query) override;
+  void on_migration_result(NodeId target, double fraction,
+                           bool success) override;
+  void on_self_killed() override;
+  void solicit() override;
+
+  std::uint64_t helps_sent() const { return helps_sent_; }
+
+ private:
+  void send_help(double urgency);
+  void handle_help(const HelpMsg& help);
+  void handle_pledge(const PledgeMsg& pledge);
+
+  AlgorithmP responder_;    // HELP-reply policy (Fig. 3 first rule only)
+  PledgeList pledge_list_;  // organizer-side soft state
+  std::uint64_t helps_sent_ = 0;
+};
+
+}  // namespace realtor::proto

@@ -1,0 +1,123 @@
+#include "proto/realtor.hpp"
+
+#include <algorithm>
+
+namespace realtor::proto {
+
+RealtorProtocol::RealtorProtocol(NodeId self, const ProtocolConfig& config,
+                                 ProtocolEnv env)
+    : DiscoveryProtocol(self, config, std::move(env)),
+      algo_h_(config),
+      algo_p_(config),
+      pledge_list_(config.soft_state_ttl, config.availability_floor),
+      membership_(config.soft_state_ttl, config.max_communities),
+      help_timer_(*env_.engine) {}
+
+void RealtorProtocol::on_status_change(double occupancy) {
+  if (!env_.topology->alive(self_)) return;
+  const node::Crossing crossing = algo_p_.note_status(now(), occupancy);
+  if (crossing == node::Crossing::kNone) return;
+  // Fig. 3 second rule: status crossed the threshold — update every
+  // community we belong to. Crossing up advertises (near-)zero
+  // availability so organizers stop counting on us.
+  membership_.prune(now());
+  for (const NodeId organizer : membership_.active_organizers(now())) {
+    send_pledge_to(organizer, occupancy);
+    ++unsolicited_pledges_;
+  }
+}
+
+void RealtorProtocol::on_task_arrival(double occupancy_with_task) {
+  if (!env_.topology->alive(self_)) return;
+  if (!algo_h_.should_send_help(now(), occupancy_with_task)) return;
+  send_help(
+      std::min(1.0, std::max(0.0, occupancy_with_task - config_.help_threshold)));
+}
+
+void RealtorProtocol::solicit() {
+  if (!env_.topology->alive(self_)) return;
+  send_help(1.0);  // emergency: bypass the Algorithm-H interval gate
+}
+
+void RealtorProtocol::send_help(double urgency) {
+  HelpMsg help;
+  help.origin = self_;
+  help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
+  help.urgency = urgency;
+  env_.transport->flood(self_, Message{help});
+  const SimTime timeout = algo_h_.note_help_sent(now());
+  help_timer_.arm(timeout, [this] { algo_h_.note_timeout(); });
+}
+
+void RealtorProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  if (const auto* help = std::get_if<HelpMsg>(&msg)) {
+    handle_help(*help);
+  } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
+    handle_pledge(*pledge);
+  }
+}
+
+void RealtorProtocol::handle_help(const HelpMsg& help) {
+  if (!env_.topology->alive(self_)) return;
+  const double occupancy = local_occupancy();
+  // Fig. 3 first rule: answer iff below threshold. Answering *is* the
+  // membership refresh (§4: a member keeps responding to refresh messages
+  // or de-facto leaves). The membership budget only bounds how many
+  // communities receive our future unsolicited status updates — the reply
+  // itself is unconditional.
+  if (!algo_p_.should_pledge_on_help(occupancy)) return;
+  membership_.note_refresh_answered(help.origin, now());
+  send_pledge_to(help.origin, occupancy);
+}
+
+void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy) {
+  PledgeMsg pledge;
+  pledge.pledger = self_;
+  pledge.availability = 1.0 - occupancy;
+  pledge.community_count = membership_.count(now());
+  pledge.grant_probability = algo_p_.grant_probability(now());
+  pledge.security_level = local_security();
+  env_.transport->unicast(self_, organizer, Message{pledge});
+}
+
+void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
+  if (algo_h_.note_pledge()) {
+    // Fig. 2 "reset_timer": the round stays open while pledges keep coming.
+    help_timer_.restart(config_.help_timeout);
+  }
+  pledge_list_.update(pledge.pledger, pledge.availability,
+                      pledge.grant_probability, now(),
+                      pledge.security_level);
+  if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
+      pledge.availability > config_.availability_floor) {
+    algo_h_.claim_round_reward();
+  }
+}
+
+std::vector<NodeId> RealtorProtocol::migration_candidates(
+    const CandidateQuery& query) {
+  pledge_list_.expire(now());
+  return pledge_list_.candidates(
+      now(), rng_, PledgeQuery{query.min_availability, query.min_security});
+}
+
+void RealtorProtocol::on_migration_result(NodeId target, double fraction,
+                                          bool success) {
+  if (success) {
+    pledge_list_.debit(target, fraction);
+    if (config_.reward_policy == HelpRewardPolicy::kOnMigrationSuccess) {
+      // Fig. 2 "a node is found for migration": the list delivered.
+      algo_h_.note_success();
+    }
+  } else {
+    pledge_list_.remove(target);
+  }
+}
+
+void RealtorProtocol::on_self_killed() {
+  pledge_list_.clear();
+  membership_.clear();
+  help_timer_.cancel();
+}
+
+}  // namespace realtor::proto

@@ -1,0 +1,26 @@
+// Transport seam between protocol logic and its environment.
+//
+// The discrete-event harness implements this against the Topology +
+// MessageLedger (experiment::SimTransport); tests implement it with plain
+// vectors to script message interleavings, duplicates and losses.
+#pragma once
+
+#include "common/types.hpp"
+#include "proto/message.hpp"
+
+namespace realtor::proto {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers `msg` to every alive node except `origin`; accounted as one
+  /// flood (cost = number of alive links, per §5).
+  virtual void flood(NodeId origin, const Message& msg) = 0;
+
+  /// Point-to-point delivery; accounted at the unicast cost (average
+  /// shortest path length, 4 on the paper's mesh).
+  virtual void unicast(NodeId from, NodeId to, const Message& msg) = 0;
+};
+
+}  // namespace realtor::proto

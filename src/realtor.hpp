@@ -1,0 +1,28 @@
+// Umbrella header: the public surface of the REALTOR reproduction.
+//
+//   #include "realtor.hpp"
+//
+// pulls in everything a downstream user needs to run discovery
+// experiments (discrete-event) or the threaded Agile Objects cluster.
+// Individual headers remain includable on their own; prefer them in code
+// that cares about compile times.
+#pragma once
+
+// Core contribution: the discovery protocols.
+#include "proto/config.hpp"            // IWYU pragma: export
+#include "proto/discovery_protocol.hpp"  // IWYU pragma: export
+#include "proto/factory.hpp"           // IWYU pragma: export
+#include "proto/message.hpp"           // IWYU pragma: export
+
+// Experiment harness (the paper's §5 evaluation).
+#include "experiment/figures.hpp"      // IWYU pragma: export
+#include "experiment/report.hpp"       // IWYU pragma: export
+#include "experiment/scenario.hpp"     // IWYU pragma: export
+#include "experiment/simulation.hpp"   // IWYU pragma: export
+#include "experiment/sweep.hpp"        // IWYU pragma: export
+
+// Threaded Agile Objects runtime (the paper's §6 measurement).
+#include "agile/cluster.hpp"           // IWYU pragma: export
+
+// Workload trace tooling.
+#include "trace/workload_csv.hpp"      // IWYU pragma: export

@@ -1,0 +1,35 @@
+#include "sched/admission_test.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::sched {
+namespace {
+constexpr double kSlack = 1e-9;  // absorbs reserve/release rounding drift
+}
+
+UtilizationAccount::UtilizationAccount(double bound) : bound_(bound) {
+  REALTOR_ASSERT(bound_ > 0.0);
+}
+
+bool UtilizationAccount::would_admit(double utilization) const {
+  REALTOR_ASSERT(utilization > 0.0);
+  return reserved_ + utilization <= bound_ + kSlack;
+}
+
+bool UtilizationAccount::try_reserve(double utilization) {
+  if (!would_admit(utilization)) {
+    ++rejected_;
+    return false;
+  }
+  reserved_ += utilization;
+  ++admitted_;
+  return true;
+}
+
+void UtilizationAccount::release(double utilization) {
+  REALTOR_ASSERT(utilization > 0.0);
+  reserved_ -= utilization;
+  if (reserved_ < 0.0) reserved_ = 0.0;  // rounding residue
+}
+
+}  // namespace realtor::sched

@@ -1,0 +1,42 @@
+// Utilization-based admission accounting.
+//
+// §3: with guaranteed-rate scheduling "the admission control overhead ...
+// becomes a simple utilization test, and available CPU resource can be
+// directly measured in terms of unallocated utilization." Each host keeps
+// one UtilizationAccount; admitting a component reserves its server
+// utilization, a migration away releases it.
+#pragma once
+
+#include <cstdint>
+
+namespace realtor::sched {
+
+class UtilizationAccount {
+ public:
+  /// `bound` is the schedulable utilization (1.0 for EDF on one CPU).
+  explicit UtilizationAccount(double bound = 1.0);
+
+  double bound() const { return bound_; }
+  double reserved() const { return reserved_; }
+  double headroom() const { return bound_ - reserved_; }
+
+  /// True iff a reservation of `utilization` would pass the test.
+  bool would_admit(double utilization) const;
+
+  /// Reserves if admissible; returns success.
+  bool try_reserve(double utilization);
+
+  /// Releases a prior reservation.
+  void release(double utilization);
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  double bound_;
+  double reserved_ = 0.0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace realtor::sched

@@ -1,0 +1,63 @@
+// Schedulability analysis for periodic task sets.
+//
+// The Agile Objects design (§3) relies on "guaranteed-rate scheduling at
+// the nodes [allowing] an accurate definition of resource requirements
+// during design and deployment time". These are the classical tests a
+// deployment-time tool runs before placing a periodic component:
+//   * utilization bounds (Liu & Layland for rate-monotonic, 1.0 for EDF),
+//   * exact response-time analysis for fixed-priority scheduling
+//     (Joseph & Pandya / Audsley iteration), and
+//   * the processor-demand criterion for EDF with constrained deadlines
+//     (Baruah, Rosier & Howell).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::sched {
+
+struct PeriodicTask {
+  /// Worst-case execution time (seconds).
+  double cost = 0.0;
+  /// Minimum inter-arrival time.
+  double period = 0.0;
+  /// Relative deadline; must satisfy 0 < deadline <= period here.
+  double deadline = 0.0;
+  /// Static priority; larger runs first (ties broken by index).
+  int priority = 0;
+};
+
+/// Sum of cost/period.
+double total_utilization(const std::vector<PeriodicTask>& tasks);
+
+/// Liu & Layland bound n(2^{1/n} - 1): utilization at or below it
+/// guarantees rate-monotonic schedulability (sufficient, not necessary).
+double liu_layland_bound(std::size_t n);
+
+/// Assigns rate-monotonic priorities (shorter period = higher priority)
+/// into the tasks' priority fields.
+void assign_rate_monotonic_priorities(std::vector<PeriodicTask>& tasks);
+
+struct ResponseTimeResult {
+  bool schedulable = false;
+  /// Worst-case response time per task (same order as the input); entries
+  /// for tasks whose iteration exceeded the deadline hold the last
+  /// iterate.
+  std::vector<double> response_times;
+};
+
+/// Exact fixed-priority response-time analysis with synchronous release:
+///   R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+/// iterated to a fixed point. Valid for deadline <= period.
+ResponseTimeResult response_time_analysis(
+    const std::vector<PeriodicTask>& tasks);
+
+/// EDF processor-demand criterion for constrained deadlines: for every
+/// absolute deadline d up to the analysis bound,
+///   sum_i max(0, floor((d - D_i) / T_i) + 1) * C_i <= d.
+/// Exact for U < 1 (checks up to the busy-period/hyperperiod bound).
+bool edf_demand_test(const std::vector<PeriodicTask>& tasks);
+
+}  // namespace realtor::sched

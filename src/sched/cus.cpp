@@ -1,0 +1,27 @@
+#include "sched/cus.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace realtor::sched {
+
+ConstantUtilizationServer::ConstantUtilizationServer(double utilization)
+    : utilization_(utilization) {
+  REALTOR_ASSERT(utilization_ > 0.0 && utilization_ <= 1.0);
+}
+
+SimTime ConstantUtilizationServer::assign_deadline(SimTime now,
+                                                   double exec_time) {
+  REALTOR_ASSERT(exec_time > 0.0);
+  deadline_ = std::max(now, deadline_) + exec_time / utilization_;
+  budgeted_work_ += exec_time;
+  return deadline_;
+}
+
+void ConstantUtilizationServer::reset() {
+  deadline_ = 0.0;
+  budgeted_work_ = 0.0;
+}
+
+}  // namespace realtor::sched

@@ -1,0 +1,46 @@
+// Constant Utilization Server (Deng–Liu–Sun style).
+//
+// §3: "The current implementation uses a Constant Utilization Server" so
+// that "available CPU resource can be directly measured in terms of
+// unallocated utilization" and admission control "becomes a simple
+// utilization test".
+//
+// The server reserves a fixed utilization U for one migratable component.
+// When a request with execution time e becomes eligible at time t the
+// server assigns it the deadline
+//     d_new = max(t, d_prev) + e / U,
+// which guarantees the component never demands more than U of the CPU in
+// any interval when scheduled under EDF alongside other servers whose
+// utilizations sum to at most 1.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace realtor::sched {
+
+class ConstantUtilizationServer {
+ public:
+  explicit ConstantUtilizationServer(double utilization);
+
+  double utilization() const { return utilization_; }
+
+  /// Assigns the EDF deadline for a request of `exec_time` CPU seconds
+  /// eligible at `now`, advancing the server's deadline state.
+  SimTime assign_deadline(SimTime now, double exec_time);
+
+  /// Deadline of the most recent request (0 before the first).
+  SimTime current_deadline() const { return deadline_; }
+
+  /// Total execution time budgeted through this server.
+  double budgeted_work() const { return budgeted_work_; }
+
+  /// Forgets history (component migrated away and back, or host restarted).
+  void reset();
+
+ private:
+  double utilization_;
+  SimTime deadline_ = 0.0;
+  double budgeted_work_ = 0.0;
+};
+
+}  // namespace realtor::sched

@@ -1,0 +1,104 @@
+#include "sched/edf_scheduler.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::sched {
+
+EdfScheduler::EdfScheduler(sim::Engine& engine) : engine_(engine) {}
+
+void EdfScheduler::set_completion_handler(CompletionFn fn) {
+  completion_ = std::move(fn);
+}
+
+void EdfScheduler::submit(Job job) {
+  REALTOR_ASSERT(job.cost > 0.0);
+  ready_.insert(ActiveJob{job, job.cost});
+  if (!running_) {
+    dispatch();
+    return;
+  }
+  // Preempt iff the best ready job dispatches ahead of the running one.
+  const ActiveJob& best = *ready_.begin();
+  if (ActiveOrder{}(best, *running_)) {
+    preempt_running();
+    dispatch();
+  }
+}
+
+std::size_t EdfScheduler::pending() const {
+  return ready_.size() + (running_ ? 1u : 0u);
+}
+
+double EdfScheduler::running_remaining() const {
+  if (!running_) return 0.0;
+  const double executed = engine_.now() - run_started_;
+  const double remaining = running_->remaining - executed;
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+double EdfScheduler::backlog_seconds() const {
+  double total = running_remaining();
+  for (const ActiveJob& a : ready_) {
+    total += a.remaining;
+  }
+  return total;
+}
+
+std::size_t EdfScheduler::clear() {
+  std::size_t dropped = ready_.size();
+  ready_.clear();
+  if (running_) {
+    engine_.cancel(finish_event_);
+    finish_event_ = kInvalidEvent;
+    running_.reset();
+    ++dropped;
+  }
+  return dropped;
+}
+
+void EdfScheduler::dispatch() {
+  REALTOR_ASSERT(!running_);
+  if (ready_.empty()) return;
+  running_ = *ready_.begin();
+  ready_.erase(ready_.begin());
+  run_started_ = engine_.now();
+  finish_event_ =
+      engine_.schedule_in(running_->remaining, [this] { on_finish(); });
+}
+
+void EdfScheduler::preempt_running() {
+  REALTOR_ASSERT(running_.has_value());
+  engine_.cancel(finish_event_);
+  finish_event_ = kInvalidEvent;
+  ActiveJob paused = *running_;
+  paused.remaining = running_remaining();
+  running_.reset();
+  if (paused.remaining > 0.0) {
+    ready_.insert(paused);
+  } else {
+    // Preempted at the exact finish instant: treat as complete.
+    ++completed_;
+    if (completion_) {
+      completion_(paused.job, engine_.now(),
+                  engine_.now() <= paused.job.deadline);
+    }
+  }
+}
+
+void EdfScheduler::on_finish() {
+  REALTOR_ASSERT(running_.has_value());
+  finish_event_ = kInvalidEvent;
+  const Job finished = running_->job;
+  running_.reset();
+  ++completed_;
+  const bool met = engine_.now() <= finished.deadline;
+  if (!met) ++deadline_misses_;
+  dispatch();
+  if (completion_) {
+    completion_(finished, engine_.now(), met);
+  }
+}
+
+}  // namespace realtor::sched

@@ -1,0 +1,38 @@
+// Real-time job model for the Agile Objects substrate.
+//
+// §6: "Job Scheduler provides a simple form of real-time task scheduler
+// with static priority and EDF (Earliest Deadline First) in the same
+// priority."
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace realtor::sched {
+
+using JobId = std::uint64_t;
+
+struct Job {
+  JobId id = 0;
+  /// CPU seconds the job needs.
+  double cost = 0.0;
+  /// Instant the job became ready.
+  SimTime release = 0.0;
+  /// Absolute deadline; kNeverTime for best-effort jobs.
+  SimTime deadline = kNeverTime;
+  /// Static priority; larger values run first. EDF breaks ties within a
+  /// priority level.
+  int priority = 0;
+};
+
+/// Dispatch order: static priority first, then EDF, then FIFO by id.
+struct JobOrder {
+  bool operator()(const Job& a, const Job& b) const {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace realtor::sched

@@ -1,0 +1,85 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  REALTOR_ASSERT_MSG(t >= now_, "cannot schedule in the past");
+  REALTOR_ASSERT(static_cast<bool>(cb));
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Engine::schedule_in(SimTime delay, Callback cb) {
+  REALTOR_ASSERT_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Engine::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Engine::pending(EventId id) const { return callbacks_.count(id) > 0; }
+
+bool Engine::pop_next(HeapEntry& out, Callback& cb) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    out = top;
+    cb = std::move(it->second);
+    callbacks_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  HeapEntry entry{};
+  Callback cb;
+  while (pop_next(entry, cb)) {
+    now_ = entry.time;
+    ++processed_;
+    cb();
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  REALTOR_ASSERT(t >= now_);
+  while (!heap_.empty()) {
+    // Peek for a live event not later than t.
+    const HeapEntry top = heap_.top();
+    if (callbacks_.count(top.id) == 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++processed_;
+    cb();
+  }
+  now_ = t;
+}
+
+std::size_t Engine::step(std::size_t max_events) {
+  std::size_t fired = 0;
+  HeapEntry entry{};
+  Callback cb;
+  while (fired < max_events && pop_next(entry, cb)) {
+    now_ = entry.time;
+    ++processed_;
+    ++fired;
+    cb();
+  }
+  return fired;
+}
+
+}  // namespace realtor::sim

@@ -1,0 +1,81 @@
+// Deterministic discrete-event engine.
+//
+// Single-threaded: all model code runs inside event callbacks on one thread.
+// Determinism guarantees:
+//   * events fire in nondecreasing time order;
+//   * events at equal times fire in scheduling (FIFO) order;
+//   * cancellation is O(1) and never perturbs the order of other events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Returns a handle usable
+  /// with cancel() until the event fires.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (>= 0).
+  EventId schedule_in(SimTime delay, Callback cb);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// True if `id` is scheduled and not yet fired/cancelled.
+  bool pending(EventId id) const;
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Fires at most `max_events` events; returns how many fired.
+  std::size_t step(std::size_t max_events = 1);
+
+  std::size_t pending_count() const { return callbacks_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+  };
+  struct HeapCompare {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  /// Pops the next live event; returns false when the queue is exhausted.
+  bool pop_next(HeapEntry& out, Callback& cb);
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+  // Source of truth for liveness: cancel() erases here, the heap entry is
+  // dropped lazily when popped.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace realtor::sim

@@ -1,0 +1,41 @@
+#include "sim/process.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::sim {
+
+PeriodicProcess::PeriodicProcess(Engine& engine, SimTime interval, Callback cb)
+    : engine_(engine), interval_(interval), cb_(std::move(cb)) {
+  REALTOR_ASSERT(interval_ > 0.0);
+  REALTOR_ASSERT(static_cast<bool>(cb_));
+}
+
+void PeriodicProcess::start() {
+  if (running()) return;
+  event_ = engine_.schedule_in(interval_, [this] { tick(); });
+}
+
+void PeriodicProcess::stop() {
+  if (event_ != kInvalidEvent) {
+    engine_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+void PeriodicProcess::set_interval(SimTime interval) {
+  REALTOR_ASSERT(interval > 0.0);
+  interval_ = interval;
+  if (running()) {
+    stop();
+    start();
+  }
+}
+
+void PeriodicProcess::tick() {
+  event_ = engine_.schedule_in(interval_, [this] { tick(); });
+  cb_();
+}
+
+}  // namespace realtor::sim

@@ -1,0 +1,42 @@
+// Periodic process helper: the pure-PUSH baseline advertises availability at
+// a fixed interval (Push-1 in the paper); this wraps the self-rescheduling
+// pattern with clean start/stop semantics.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::sim {
+
+class PeriodicProcess {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicProcess(Engine& engine, SimTime interval, Callback cb);
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Starts ticking; the first tick fires one full interval from now
+  /// (matching a host that begins advertising after joining).
+  void start();
+
+  void stop();
+
+  bool running() const { return engine_.pending(event_); }
+
+  SimTime interval() const { return interval_; }
+  void set_interval(SimTime interval);
+
+ private:
+  void tick();
+
+  Engine& engine_;
+  SimTime interval_;
+  Callback cb_;
+  EventId event_ = kInvalidEvent;
+};
+
+}  // namespace realtor::sim

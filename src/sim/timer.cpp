@@ -1,0 +1,37 @@
+#include "sim/timer.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace realtor::sim {
+
+void Timer::arm(SimTime delay, Callback cb) {
+  REALTOR_ASSERT(static_cast<bool>(cb));
+  cancel();
+  cb_ = std::move(cb);
+  event_ = engine_.schedule_in(delay, [this] {
+    // The engine dropped its copy; keep ours alive while it runs so the
+    // callback may re-arm this same timer.
+    event_ = kInvalidEvent;
+    cb_();
+  });
+}
+
+void Timer::restart(SimTime delay) {
+  REALTOR_ASSERT_MSG(static_cast<bool>(cb_), "restart() before arm()");
+  engine_.cancel(event_);
+  event_ = engine_.schedule_in(delay, [this] {
+    event_ = kInvalidEvent;
+    cb_();
+  });
+}
+
+void Timer::cancel() {
+  if (event_ != kInvalidEvent) {
+    engine_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+}  // namespace realtor::sim

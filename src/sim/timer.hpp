@@ -1,0 +1,42 @@
+// Restartable one-shot timer.
+//
+// Algorithm H (paper Fig. 2) arms a timeout whenever a HELP message is sent
+// and *resets* it when a PLEDGE arrives before expiry; this class captures
+// exactly that arm / reset / cancel lifecycle.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Timer(Engine& engine) : engine_(engine) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer to fire `delay` seconds from now. A
+  /// previously armed expiry is cancelled first.
+  void arm(SimTime delay, Callback cb);
+
+  /// Re-arms with the same callback and a fresh delay. Requires a prior
+  /// arm(); the pending expiry (if any) is cancelled.
+  void restart(SimTime delay);
+
+  void cancel();
+
+  bool active() const { return engine_.pending(event_); }
+
+ private:
+  Engine& engine_;
+  EventId event_ = kInvalidEvent;
+  Callback cb_;
+};
+
+}  // namespace realtor::sim

@@ -1,0 +1,153 @@
+#include "agile/channel.hpp"
+
+#include "agile/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace realtor::agile {
+namespace {
+
+using namespace std::chrono_literals;
+
+Datagram make_datagram(NodeId from, NodeId to, TaskId id) {
+  TaskArrival task;
+  task.id = id;
+  task.size_seconds = 1.0;
+  return Datagram{from, to, Payload{task}};
+}
+
+TaskId task_id_of(const Datagram& d) {
+  return std::get<TaskArrival>(d.payload).id;
+}
+
+TEST(Inbox, FifoOrder) {
+  Inbox inbox;
+  inbox.push(make_datagram(0, 1, 10));
+  inbox.push(make_datagram(0, 1, 11));
+  EXPECT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(task_id_of(*inbox.try_pop()), 10u);
+  EXPECT_EQ(task_id_of(*inbox.try_pop()), 11u);
+  EXPECT_FALSE(inbox.try_pop().has_value());
+}
+
+TEST(Inbox, PopUntilTimesOutEmpty) {
+  Inbox inbox;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = inbox.pop_until(start + 20ms);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(Inbox, PopWokenByCrossThreadPush) {
+  Inbox inbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    inbox.push(make_datagram(0, 1, 42));
+  });
+  const auto result =
+      inbox.pop_until(std::chrono::steady_clock::now() + 500ms);
+  producer.join();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(task_id_of(*result), 42u);
+}
+
+TEST(Inbox, CloseWakesWaiterAndRefusesPush) {
+  Inbox inbox;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(10ms);
+    inbox.close();
+  });
+  const auto result =
+      inbox.pop_until(std::chrono::steady_clock::now() + 500ms);
+  closer.join();
+  EXPECT_FALSE(result.has_value());
+  EXPECT_TRUE(inbox.closed());
+  EXPECT_FALSE(inbox.push(make_datagram(0, 1, 1)));
+}
+
+TEST(Inbox, DrainAllowedAfterClose) {
+  Inbox inbox;
+  inbox.push(make_datagram(0, 1, 5));
+  inbox.close();
+  const auto result = inbox.pop_until(std::chrono::steady_clock::now());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(task_id_of(*result), 5u);
+}
+
+TEST(DatagramNetwork, LosslessDeliversEverything) {
+  DatagramNetwork net(3, 0.0, 1);
+  for (int i = 0; i < 100; ++i) {
+    net.send(0, 1, Payload{TaskArrival{static_cast<TaskId>(i), 1.0, 0.0}});
+  }
+  EXPECT_EQ(net.sent(), 100u);
+  EXPECT_EQ(net.delivered(), 100u);
+  EXPECT_EQ(net.dropped(), 0u);
+  EXPECT_EQ(net.inbox(1).size(), 100u);
+  EXPECT_EQ(net.inbox(2).size(), 0u);
+}
+
+TEST(DatagramNetwork, LossDropsApproximatelyConfiguredFraction) {
+  DatagramNetwork net(2, 0.3, 7);
+  for (int i = 0; i < 5000; ++i) {
+    net.send(0, 1, Payload{TaskArrival{static_cast<TaskId>(i), 1.0, 0.0}});
+  }
+  const double drop_rate =
+      static_cast<double>(net.dropped()) / static_cast<double>(net.sent());
+  EXPECT_NEAR(drop_rate, 0.3, 0.03);
+  EXPECT_EQ(net.delivered() + net.dropped(), net.sent());
+}
+
+TEST(DatagramNetwork, MulticastReachesAllButSender) {
+  DatagramNetwork net(5, 0.0, 1);
+  net.multicast(2, Payload{proto::Message{proto::HelpMsg{2, 0, 0.5}}});
+  EXPECT_EQ(net.inbox(0).size(), 1u);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(2).size(), 0u);
+  EXPECT_EQ(net.inbox(3).size(), 1u);
+  EXPECT_EQ(net.inbox(4).size(), 1u);
+}
+
+TEST(DatagramNetwork, ReliablePathIgnoresLoss) {
+  DatagramNetwork net(2, 0.9, 7);
+  for (int i = 0; i < 200; ++i) {
+    net.deliver_reliable(0, 1,
+                         Payload{TaskArrival{static_cast<TaskId>(i), 1.0, 0.0}});
+  }
+  EXPECT_EQ(net.inbox(1).size(), 200u);
+  EXPECT_EQ(net.dropped(), 0u);
+}
+
+TEST(DatagramNetwork, CloseAllStopsDelivery) {
+  DatagramNetwork net(2, 0.0, 1);
+  net.close_all();
+  net.send(0, 1, Payload{TaskArrival{1, 1.0, 0.0}});
+  EXPECT_EQ(net.delivered(), 0u);
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(Clock, CompressionScalesModelTime) {
+  Clock model_clock(0.001);  // 1000x faster than real time
+  std::this_thread::sleep_for(20ms);
+  const SimTime t = model_clock.now();
+  EXPECT_GT(t, 15.0);
+  EXPECT_LT(t, 2000.0);
+}
+
+TEST(Clock, ResetEpochRestartsModelTime) {
+  Clock model_clock(0.001);
+  std::this_thread::sleep_for(10ms);
+  model_clock.reset_epoch();
+  EXPECT_LT(model_clock.now(), 5.0);
+}
+
+TEST(Clock, WallAtRoundTrips) {
+  Clock model_clock(0.01);
+  const auto wall = model_clock.wall_at(3.0);
+  const auto dur = model_clock.to_wall(3.0);
+  EXPECT_EQ(wall, model_clock.wall_at(0.0) + dur);
+}
+
+}  // namespace
+}  // namespace realtor::agile

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "agile/component.hpp"
+#include "agile/naming.hpp"
+
+namespace realtor::agile {
+namespace {
+
+TEST(NamingService, RegisterLookupUnregister) {
+  NamingService naming;
+  naming.register_component(7, 3);
+  EXPECT_EQ(naming.lookup(7), std::optional<NodeId>{3});
+  EXPECT_EQ(naming.size(), 1u);
+  naming.unregister(7);
+  EXPECT_FALSE(naming.lookup(7).has_value());
+  EXPECT_EQ(naming.size(), 0u);
+}
+
+TEST(NamingService, UpdateMovesLocationAndCounts) {
+  NamingService naming;
+  naming.register_component(7, 3);
+  naming.update_location(7, 9);
+  EXPECT_EQ(naming.lookup(7), std::optional<NodeId>{9});
+  EXPECT_EQ(naming.updates(), 1u);
+}
+
+TEST(NamingService, UpdateOfUnknownComponentIsNoop) {
+  NamingService naming;
+  naming.update_location(42, 1);
+  EXPECT_FALSE(naming.lookup(42).has_value());
+  EXPECT_EQ(naming.updates(), 0u);
+}
+
+TEST(NamingService, ConcurrentRegistrationsAreSafe) {
+  NamingService naming;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&naming, t] {
+      for (TaskId id = 0; id < 500; ++id) {
+        const TaskId key = static_cast<TaskId>(t) * 1000 + id;
+        naming.register_component(key, static_cast<NodeId>(t));
+        naming.update_location(key, static_cast<NodeId>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(naming.size(), 2000u);
+  EXPECT_EQ(naming.updates(), 2000u);
+  EXPECT_EQ(naming.lookup(1499), std::optional<NodeId>{2});
+}
+
+TEST(MigratableComponent, PackUnpackRoundTrip) {
+  const MigratableComponent original(123456789ULL, 3.25);
+  const auto packed = original.pack();
+  const auto restored = MigratableComponent::unpack(packed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->id(), 123456789ULL);
+  EXPECT_DOUBLE_EQ(restored->remaining_seconds(), 3.25);
+}
+
+TEST(MigratableComponent, UnpackRejectsNegativeRemaining) {
+  const MigratableComponent bad(1, -1.0);
+  EXPECT_FALSE(MigratableComponent::unpack(bad.pack()).has_value());
+}
+
+TEST(MigratableComponent, ZeroRemainingIsValid) {
+  const MigratableComponent done(1, 0.0);
+  const auto restored = MigratableComponent::unpack(done.pack());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->remaining_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace realtor::agile

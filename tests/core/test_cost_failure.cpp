@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "net/cost_model.hpp"
+#include "net/failure.hpp"
+#include "net/message_ledger.hpp"
+
+namespace realtor::net {
+namespace {
+
+TEST(CostModel, PaperAccountingOnMesh) {
+  const Topology mesh = make_mesh(5, 5);
+  const CostModel model(mesh, CostMode::kPaperAverage, 4.0);
+  // §5: "HELP message requires the number of links for flooding, while
+  // PLEDGE message takes the average number of shortest paths, which is 4".
+  EXPECT_DOUBLE_EQ(model.flood_cost(), 40.0);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(0, 24), 4.0);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(0, 1), 4.0);  // averaged, not exact
+}
+
+TEST(CostModel, AverageModeWithoutPinUsesComputedMean) {
+  const Topology mesh = make_mesh(5, 5);
+  const CostModel model(mesh, CostMode::kPaperAverage);
+  EXPECT_NEAR(model.unicast_cost(0, 1), 10.0 / 3.0, 1e-9);
+}
+
+TEST(CostModel, ExactModeUsesHopDistance) {
+  const Topology mesh = make_mesh(5, 5);
+  const CostModel model(mesh, CostMode::kExactHops);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(0, 24), 8.0);
+}
+
+TEST(CostModel, FloodCostShrinksWhenNodesDie) {
+  Topology mesh = make_mesh(5, 5);
+  const CostModel model(mesh, CostMode::kPaperAverage, 4.0);
+  EXPECT_DOUBLE_EQ(model.flood_cost(), 40.0);
+  mesh.set_alive(12, false);  // center has 4 links
+  EXPECT_DOUBLE_EQ(model.flood_cost(), 36.0);
+}
+
+TEST(CostModel, ExactModeRefreshesAfterLivenessChange) {
+  Topology mesh = make_mesh(3, 3);
+  const CostModel model(mesh, CostMode::kExactHops);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(3, 5), 2.0);
+  mesh.set_alive(4, false);
+  EXPECT_DOUBLE_EQ(model.unicast_cost(3, 5), 4.0);  // detour
+}
+
+TEST(MessageLedger, RecordsAndTotals) {
+  MessageLedger ledger;
+  ledger.record(MessageKind::kHelp, 40.0);
+  ledger.record(MessageKind::kPledge, 4.0, 3);
+  ledger.record(MessageKind::kMigration, 4.0);
+  EXPECT_EQ(ledger.sends(MessageKind::kHelp), 1u);
+  EXPECT_EQ(ledger.sends(MessageKind::kPledge), 3u);
+  EXPECT_DOUBLE_EQ(ledger.cost(MessageKind::kHelp), 40.0);
+  EXPECT_DOUBLE_EQ(ledger.total_cost(), 48.0);
+  // Overhead excludes the migration payload.
+  EXPECT_DOUBLE_EQ(ledger.overhead_cost(), 44.0);
+  EXPECT_EQ(ledger.total_sends(), 5u);
+}
+
+TEST(MessageLedger, MergeAndReset) {
+  MessageLedger a, b;
+  a.record(MessageKind::kHelp, 40.0);
+  b.record(MessageKind::kHelp, 40.0);
+  b.record(MessageKind::kNegotiation, 8.0);
+  a.merge(b);
+  EXPECT_EQ(a.sends(MessageKind::kHelp), 2u);
+  EXPECT_DOUBLE_EQ(a.total_cost(), 88.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.total_cost(), 0.0);
+  EXPECT_EQ(a.total_sends(), 0u);
+}
+
+TEST(MessageLedger, KindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kHelp), "HELP");
+  EXPECT_STREQ(to_string(MessageKind::kPledge), "PLEDGE");
+  EXPECT_STREQ(to_string(MessageKind::kPushAdvert), "PUSH");
+  EXPECT_STREQ(to_string(MessageKind::kNegotiation), "NEGOTIATION");
+  EXPECT_STREQ(to_string(MessageKind::kMigration), "MIGRATION");
+}
+
+TEST(FailureInjector, KillAndRestoreFlipLiveness) {
+  sim::Engine engine;
+  Topology mesh = make_mesh(3, 3);
+  FailureInjector injector(engine, mesh);
+  injector.schedule_kill(4, 10.0);
+  injector.schedule_restore(4, 20.0);
+  engine.run_until(15.0);
+  EXPECT_FALSE(mesh.alive(4));
+  engine.run_until(25.0);
+  EXPECT_TRUE(mesh.alive(4));
+  EXPECT_EQ(injector.kills(), 1u);
+  EXPECT_EQ(injector.restores(), 1u);
+}
+
+TEST(FailureInjector, ListenersNotified) {
+  sim::Engine engine;
+  Topology mesh = make_mesh(3, 3);
+  FailureInjector injector(engine, mesh);
+  std::vector<std::pair<NodeId, bool>> events;
+  injector.add_listener([&](NodeId n, bool alive) {
+    events.emplace_back(n, alive);
+  });
+  injector.schedule_kill(2, 1.0);
+  injector.schedule_restore(2, 2.0);
+  engine.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<NodeId, bool>{2, false}));
+  EXPECT_EQ(events[1], (std::pair<NodeId, bool>{2, true}));
+}
+
+TEST(FailureInjector, DuplicateKillIsIdempotent) {
+  sim::Engine engine;
+  Topology mesh = make_mesh(3, 3);
+  FailureInjector injector(engine, mesh);
+  int notifications = 0;
+  injector.add_listener([&](NodeId, bool) { ++notifications; });
+  injector.schedule_kill(2, 1.0);
+  injector.schedule_kill(2, 1.5);
+  engine.run();
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(injector.kills(), 1u);
+}
+
+TEST(FailureInjector, AttackWaveRespectsSparedAndCount) {
+  sim::Engine engine;
+  Topology mesh = make_mesh(5, 5);
+  FailureInjector injector(engine, mesh);
+  RngStream rng(5, "attack");
+  const std::vector<NodeId> spared{0, 1, 2};
+  const auto victims =
+      injector.schedule_attack_wave(10, 5.0, 20.0, rng, spared);
+  EXPECT_EQ(victims.size(), 10u);
+  for (const NodeId v : victims) {
+    for (const NodeId s : spared) {
+      EXPECT_NE(v, s);
+    }
+  }
+  engine.run_until(6.0);
+  EXPECT_EQ(mesh.alive_count(), 15u);
+  engine.run_until(30.0);
+  EXPECT_EQ(mesh.alive_count(), 25u);
+}
+
+TEST(FailureInjector, AttackWaveVictimsDistinct) {
+  sim::Engine engine;
+  Topology mesh = make_mesh(5, 5);
+  FailureInjector injector(engine, mesh);
+  RngStream rng(5, "attack");
+  const auto victims = injector.schedule_attack_wave(25, 1.0, 0.0, rng);
+  std::set<NodeId> unique(victims.begin(), victims.end());
+  EXPECT_EQ(unique.size(), 25u);
+}
+
+}  // namespace
+}  // namespace realtor::net

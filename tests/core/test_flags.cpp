@@ -1,0 +1,72 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realtor {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = make({"--lambda=5.5"});
+  EXPECT_TRUE(f.has("lambda"));
+  EXPECT_DOUBLE_EQ(f.get_double("lambda", 0.0), 5.5);
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  const Flags f = make({"--seed", "17"});
+  EXPECT_EQ(f.get_int("seed", 0), 17);
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  const Flags f = make({"--ci"});
+  EXPECT_TRUE(f.get_bool("ci", false));
+}
+
+TEST(Flags, MissingFlagFallsBack) {
+  const Flags f = make({});
+  EXPECT_DOUBLE_EQ(f.get_double("nope", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("nope", "dflt"), "dflt");
+  EXPECT_FALSE(f.get_bool("nope", false));
+}
+
+TEST(Flags, MalformedNumberFallsBack) {
+  const Flags f = make({"--x=abc"});
+  EXPECT_DOUBLE_EQ(f.get_double("x", 9.0), 9.0);
+  EXPECT_EQ(f.get_int("x", 7), 7);
+}
+
+TEST(Flags, DoubleList) {
+  const Flags f = make({"--lambdas=1,2.5,10"});
+  const auto v = f.get_double_list("lambdas", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+  EXPECT_DOUBLE_EQ(v[2], 10.0);
+}
+
+TEST(Flags, DoubleListMalformedFallsBack) {
+  const Flags f = make({"--lambdas=1,x,3"});
+  const auto v = f.get_double_list("lambdas", {42.0});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 42.0);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  const Flags f = make({"file1", "--k=v", "file2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "file1");
+  EXPECT_EQ(f.positional()[1], "file2");
+}
+
+TEST(Flags, LastDuplicateWins) {
+  const Flags f = make({"--a=1", "--a=2"});
+  EXPECT_EQ(f.get_int("a", 0), 2);
+}
+
+}  // namespace
+}  // namespace realtor

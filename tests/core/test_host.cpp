@@ -1,0 +1,294 @@
+#include "node/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::node {
+namespace {
+
+Task make_task(TaskId id, double size, SimTime arrival = 0.0) {
+  Task t;
+  t.id = id;
+  t.size_seconds = size;
+  t.arrival_time = arrival;
+  t.origin = 0;
+  return t;
+}
+
+TEST(Host, StartsIdleAndEmpty) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  EXPECT_FALSE(h.busy());
+  EXPECT_DOUBLE_EQ(h.backlog_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.occupancy(), 0.0);
+}
+
+TEST(Host, ServesTaskToCompletion) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  ASSERT_TRUE(h.try_enqueue(make_task(1, 5.0)));
+  EXPECT_TRUE(h.busy());
+  EXPECT_DOUBLE_EQ(h.backlog_seconds(), 5.0);
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_FALSE(h.busy());
+  EXPECT_EQ(h.completed_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.completed_work_seconds(), 5.0);
+}
+
+TEST(Host, BacklogDecreasesAsServiceProgresses) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  h.try_enqueue(make_task(1, 10.0));
+  e.schedule_at(4.0, [&] { EXPECT_DOUBLE_EQ(h.backlog_seconds(), 6.0); });
+  e.run();
+}
+
+TEST(Host, FifoServiceOrder) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  std::vector<TaskId> completions;
+  h.set_completion_listener([&](const Host&, const Task& t) {
+    completions.push_back(t.id);
+  });
+  h.try_enqueue(make_task(1, 2.0));
+  h.try_enqueue(make_task(2, 3.0));
+  h.try_enqueue(make_task(3, 1.0));
+  e.run();
+  EXPECT_EQ(completions, (std::vector<TaskId>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 6.0);
+}
+
+TEST(Host, RejectsWhenFull) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  EXPECT_TRUE(h.try_enqueue(make_task(1, 6.0)));
+  EXPECT_TRUE(h.try_enqueue(make_task(2, 4.0)));  // exactly full
+  EXPECT_FALSE(h.would_fit(0.1));
+  EXPECT_FALSE(h.try_enqueue(make_task(3, 0.1)));
+  EXPECT_EQ(h.queued_count(), 1u);  // task 2 queued, task 1 in service
+}
+
+TEST(Host, ExactlyFullIsAdmissible) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  EXPECT_TRUE(h.try_enqueue(make_task(1, 10.0)));
+  EXPECT_DOUBLE_EQ(h.occupancy(), 1.0);
+}
+
+TEST(Host, CapacityFreesAsWorkDrains) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  h.try_enqueue(make_task(1, 10.0));
+  EXPECT_FALSE(h.would_fit(1.0));
+  e.schedule_at(5.0, [&] {
+    EXPECT_TRUE(h.would_fit(5.0));
+    EXPECT_TRUE(h.try_enqueue(make_task(2, 5.0)));
+  });
+  e.run();
+  EXPECT_EQ(h.completed_count(), 2u);
+  EXPECT_DOUBLE_EQ(e.now(), 15.0);
+}
+
+TEST(Host, StatusListenerFiresOnAdmissionAndCompletion) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  int notifications = 0;
+  h.set_status_listener([&](const Host&) { ++notifications; });
+  h.try_enqueue(make_task(1, 1.0));
+  h.try_enqueue(make_task(2, 1.0));
+  e.run();
+  // 2 admissions + 2 completions.
+  EXPECT_EQ(notifications, 4);
+}
+
+TEST(Host, ClearDropsEverything) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  h.try_enqueue(make_task(1, 5.0));
+  h.try_enqueue(make_task(2, 5.0));
+  h.try_enqueue(make_task(3, 5.0));
+  EXPECT_EQ(h.clear(), 3u);
+  EXPECT_FALSE(h.busy());
+  EXPECT_DOUBLE_EQ(h.backlog_seconds(), 0.0);
+  e.run();
+  EXPECT_EQ(h.completed_count(), 0u);
+}
+
+TEST(Host, DrainReturnsRemainingWorkOfInServiceTask) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  h.try_enqueue(make_task(1, 10.0));
+  h.try_enqueue(make_task(2, 4.0));
+  std::vector<Task> drained;
+  e.schedule_at(3.0, [&] { drained = h.drain(); });
+  e.run();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 1u);
+  // §6: migratable state is "the current value of un-expired time".
+  EXPECT_DOUBLE_EQ(drained[0].size_seconds, 7.0);
+  EXPECT_EQ(drained[1].id, 2u);
+  EXPECT_DOUBLE_EQ(drained[1].size_seconds, 4.0);
+  EXPECT_EQ(h.completed_count(), 0u);
+}
+
+TEST(Host, DrainOnIdleHostIsEmpty) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  EXPECT_TRUE(h.drain().empty());
+}
+
+TEST(Host, WorkAfterClearIsServedNormally) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  h.try_enqueue(make_task(1, 5.0));
+  e.schedule_at(1.0, [&] {
+    h.clear();
+    h.try_enqueue(make_task(2, 2.0));
+  });
+  e.run();
+  EXPECT_EQ(h.completed_count(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(HostMultiResource, SecurityClearanceGatesAdmission) {
+  sim::Engine e;
+  HostResources resources;
+  resources.security_level = 2;
+  Host h(e, 0, 100.0, resources);
+  Task cleared = make_task(1, 5.0);
+  cleared.min_security = 2;
+  EXPECT_TRUE(h.can_accept(cleared));
+  Task too_demanding = make_task(2, 5.0);
+  too_demanding.min_security = 3;
+  EXPECT_FALSE(h.can_accept(too_demanding));
+  EXPECT_FALSE(h.try_enqueue(too_demanding));
+  EXPECT_TRUE(h.would_fit(5.0));  // the CPU dimension alone would fit
+}
+
+TEST(HostMultiResource, BandwidthSharesAccumulateAndRelease) {
+  sim::Engine e;
+  HostResources resources;
+  resources.bandwidth_capacity = 1.0;
+  Host h(e, 0, 100.0, resources);
+  Task a = make_task(1, 5.0);
+  a.bandwidth_share = 0.6;
+  Task b = make_task(2, 5.0);
+  b.bandwidth_share = 0.6;
+  EXPECT_TRUE(h.try_enqueue(a));
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.6);
+  EXPECT_FALSE(h.try_enqueue(b));  // NIC full although CPU queue is not
+  e.run();                         // task a completes, share released
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.0);
+  EXPECT_TRUE(h.try_enqueue(b));
+}
+
+TEST(HostMultiResource, QueuedTasksHoldBandwidthUntilCompletion) {
+  sim::Engine e;
+  HostResources resources;
+  Host h(e, 0, 100.0, resources);
+  Task a = make_task(1, 4.0);
+  a.bandwidth_share = 0.5;
+  Task b = make_task(2, 4.0);
+  b.bandwidth_share = 0.5;
+  ASSERT_TRUE(h.try_enqueue(a));
+  ASSERT_TRUE(h.try_enqueue(b));  // queued behind a, share held already
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 1.0);
+  e.schedule_at(5.0, [&] {  // a done, b in service
+    EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.5);
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.0);
+}
+
+TEST(HostMultiResource, BottleneckOccupancyTakesTheBindingDimension) {
+  sim::Engine e;
+  Host h(e, 0, 100.0, HostResources{});
+  Task t = make_task(1, 10.0);  // CPU occupancy 0.1
+  t.bandwidth_share = 0.8;      // NIC utilization 0.8
+  ASSERT_TRUE(h.try_enqueue(t));
+  EXPECT_DOUBLE_EQ(h.occupancy(), 0.1);
+  EXPECT_DOUBLE_EQ(h.bottleneck_occupancy(), 0.8);
+}
+
+TEST(HostMultiResource, DrainReleasesBandwidth) {
+  sim::Engine e;
+  Host h(e, 0, 100.0, HostResources{});
+  Task t = make_task(1, 10.0);
+  t.bandwidth_share = 0.7;
+  ASSERT_TRUE(h.try_enqueue(t));
+  const auto drained = h.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_DOUBLE_EQ(drained[0].bandwidth_share, 0.7);  // travels with it
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.0);
+}
+
+TEST(HostMultiResource, DefaultsReproduceCpuOnlyModel) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  Task t = make_task(1, 10.0);  // no bandwidth, min_security 0
+  EXPECT_TRUE(h.can_accept(t));
+  EXPECT_TRUE(h.try_enqueue(t));
+  EXPECT_DOUBLE_EQ(h.bandwidth_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(h.bottleneck_occupancy(), h.occupancy());
+}
+
+// Conservation property: whatever is admitted is eventually completed,
+// and total completed work equals the sum of admitted sizes.
+class HostConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostConservation, AdmittedWorkConserved) {
+  sim::Engine e;
+  Host h(e, 0, 50.0);
+  RngStream rng(GetParam(), "host-prop");
+  double admitted_work = 0.0;
+  std::uint64_t admitted = 0;
+  SimTime t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.exponential(2.0);
+    const double size = rng.exponential(5.0);
+    e.schedule_at(t, [&, size, i] {
+      if (h.try_enqueue(make_task(static_cast<TaskId>(i), size))) {
+        admitted_work += size;
+        ++admitted;
+      }
+    });
+  }
+  e.run();
+  EXPECT_EQ(h.completed_count(), admitted);
+  EXPECT_NEAR(h.completed_work_seconds(), admitted_work, 1e-6);
+  EXPECT_NEAR(h.backlog_seconds(), 0.0, 1e-9);  // float residue only
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostConservation,
+                         ::testing::Values(1u, 2u, 3u, 7u, 11u));
+
+// Property: occupancy never exceeds 1 regardless of arrival pattern.
+class HostBoundedness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostBoundedness, OccupancyNeverExceedsOne) {
+  sim::Engine e;
+  Host h(e, 0, 20.0);
+  RngStream rng(GetParam(), "bound-prop");
+  h.set_status_listener([&](const Host& host) {
+    ASSERT_LE(host.occupancy(), 1.0 + 1e-9);
+    ASSERT_GE(host.occupancy(), 0.0);
+  });
+  SimTime t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.exponential(0.5);  // heavy overload
+    const double size = rng.exponential(5.0);
+    e.schedule_at(t, [&, size, i] {
+      h.try_enqueue(make_task(static_cast<TaskId>(i), size));
+    });
+  }
+  e.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostBoundedness,
+                         ::testing::Values(21u, 22u, 23u));
+
+}  // namespace
+}  // namespace realtor::node

@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace realtor {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, AdjacentSeedsStillDecorrelated) {
+  // SplitMix64 seeding must separate seed and seed+1.
+  Xoshiro256 a(41), b(42);
+  EXPECT_NE(a(), b());
+}
+
+TEST(RngStream, NamedStreamsAreIndependent) {
+  RngStream a(99, "arrivals");
+  RngStream b(99, "task-sizes");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStream, SameNameSameSeedReproduces) {
+  RngStream a(123, "x");
+  RngStream b(123, "x");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngStream, Uniform01InRange) {
+  RngStream rng(5, "u");
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, Uniform01MeanNearHalf) {
+  RngStream rng(5, "u");
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, UniformIndexCoversAllValuesWithoutBias) {
+  RngStream rng(5, "idx");
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RngStream, UniformIndexOfOneIsZero) {
+  RngStream rng(5, "idx");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+  }
+}
+
+TEST(RngStream, ExponentialMeanMatches) {
+  RngStream rng(5, "exp");
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  // Standard error of the mean is 5/sqrt(n) ~ 0.011.
+  EXPECT_NEAR(sum / n, 5.0, 0.08);
+}
+
+TEST(RngStream, ExponentialIsPositive) {
+  RngStream rng(5, "exp");
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.exponential(0.001), 0.0);
+  }
+}
+
+TEST(RngStream, BernoulliFrequencyMatches) {
+  RngStream rng(17, "coin");
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(HashName, DistinctNamesDistinctHashes) {
+  std::set<std::uint64_t> hashes;
+  for (const char* name :
+       {"a", "b", "ab", "ba", "arrivals", "task-sizes", "placement", ""}) {
+    hashes.insert(hash_name(name));
+  }
+  EXPECT_EQ(hashes.size(), 8u);
+}
+
+class ExponentialMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanTest, MeanTracksParameter) {
+  const double mean = GetParam();
+  RngStream rng(11, "sweep");
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 50.0));
+
+}  // namespace
+}  // namespace realtor

@@ -1,0 +1,98 @@
+#include "net/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realtor::net {
+namespace {
+
+TEST(ShortestPaths, MeshHopDistances) {
+  const Topology mesh = make_mesh(5, 5);
+  const ShortestPaths sp(mesh);
+  EXPECT_EQ(sp.hops(0, 0), 0u);
+  EXPECT_EQ(sp.hops(0, 1), 1u);
+  EXPECT_EQ(sp.hops(0, 24), 8u);  // opposite corners: 4 + 4
+  EXPECT_EQ(sp.hops(0, 12), 4u);  // corner to center
+  EXPECT_EQ(sp.diameter(), 8u);
+  EXPECT_TRUE(sp.connected());
+}
+
+TEST(ShortestPaths, MeshAveragePathLengthMatchesManhattanExpectation) {
+  // On a 5x5 grid the mean Manhattan distance between distinct nodes is
+  // 2*E|dx| where E over the joint; computed exactly: 10/3.
+  const Topology mesh = make_mesh(5, 5);
+  const ShortestPaths sp(mesh);
+  EXPECT_NEAR(sp.average_path_length(), 10.0 / 3.0, 1e-9);
+}
+
+TEST(ShortestPaths, SymmetricDistances) {
+  const Topology t = make_random_connected(15, 25, 4);
+  const ShortestPaths sp(t);
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(sp.hops(a, b), sp.hops(b, a));
+    }
+  }
+}
+
+TEST(ShortestPaths, TriangleInequality) {
+  const Topology t = make_random_connected(12, 20, 8);
+  const ShortestPaths sp(t);
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      for (NodeId c = 0; c < t.num_nodes(); ++c) {
+        ASSERT_LE(sp.hops(a, c), sp.hops(a, b) + sp.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST(ShortestPaths, DeadNodeUnreachableAndReroutes) {
+  Topology mesh = make_mesh(3, 3);
+  // Kill the center: corner-to-corner paths must route around it.
+  mesh.set_alive(4, false);
+  ShortestPaths sp(mesh);
+  EXPECT_EQ(sp.hops(0, 4), kUnreachable);
+  EXPECT_EQ(sp.hops(4, 0), kUnreachable);
+  EXPECT_EQ(sp.hops(0, 8), 4u);  // still 4 around the edge
+  EXPECT_EQ(sp.hops(3, 5), 4u);  // direct path through center gone: 2 -> 4
+  EXPECT_TRUE(sp.connected());   // remaining alive nodes still connected
+}
+
+TEST(ShortestPaths, PartitionDetected) {
+  Topology ring = make_ring(6);
+  ring.set_alive(0, false);
+  ring.set_alive(3, false);  // cuts the ring into {1,2} and {4,5}
+  ShortestPaths sp(ring);
+  EXPECT_FALSE(sp.connected());
+  EXPECT_EQ(sp.hops(1, 4), kUnreachable);
+  EXPECT_EQ(sp.hops(1, 2), 1u);
+}
+
+TEST(ShortestPaths, RefreshTracksTopologyVersion) {
+  Topology mesh = make_mesh(3, 3);
+  ShortestPaths sp(mesh);
+  EXPECT_EQ(sp.version(), mesh.version());
+  mesh.set_alive(4, false);
+  EXPECT_NE(sp.version(), mesh.version());
+  sp.refresh();
+  EXPECT_EQ(sp.version(), mesh.version());
+  EXPECT_EQ(sp.hops(0, 4), kUnreachable);
+}
+
+TEST(ShortestPaths, CompleteGraphAllOnes) {
+  const Topology c = make_complete(8);
+  const ShortestPaths sp(c);
+  EXPECT_DOUBLE_EQ(sp.average_path_length(), 1.0);
+  EXPECT_EQ(sp.diameter(), 1u);
+}
+
+TEST(ShortestPaths, StarIsTwoHopsBetweenLeaves) {
+  const Topology s = make_star(10);
+  const ShortestPaths sp(s);
+  EXPECT_EQ(sp.hops(1, 2), 2u);
+  EXPECT_EQ(sp.hops(0, 5), 1u);
+  EXPECT_EQ(sp.diameter(), 2u);
+}
+
+}  // namespace
+}  // namespace realtor::net

@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace realtor {
+namespace {
+
+TEST(Table, CellsRoundTrip) {
+  Table t({"a", "b", "c"});
+  t.row().cell(std::string("x")).cell(1.5, 2).cell(std::uint64_t{7});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "1.50");
+  EXPECT_EQ(t.at(0, 2), "7");
+}
+
+TEST(Table, PrintContainsHeadersAndValues) {
+  Table t({"lambda", "REALTOR"});
+  t.row().cell(5.0, 1).cell(0.95, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("lambda"), std::string::npos);
+  EXPECT_NE(text.find("REALTOR"), std::string::npos);
+  EXPECT_NE(text.find("0.95"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.row().cell(std::string("a,b"));
+  t.row().cell(std::string("say \"hi\""));
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(text.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted) {
+  Table t({"x", "y"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table t({"v"});
+  t.row().cell(std::uint64_t{42});
+  const std::string path = ::testing::TempDir() + "/realtor_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvFailsOnBadPath) {
+  Table t({"v"});
+  EXPECT_FALSE(t.save_csv("/nonexistent-dir/realtor/x.csv"));
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace realtor

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "node/host.hpp"
+#include "node/monitor.hpp"
+#include "node/threshold.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::node {
+namespace {
+
+TEST(ThresholdDetector, FirstSampleNeverCrosses) {
+  ThresholdDetector d(0.9);
+  EXPECT_EQ(d.update(0.95), Crossing::kNone);
+  EXPECT_TRUE(d.above());
+  EXPECT_TRUE(d.primed());
+}
+
+TEST(ThresholdDetector, DetectsUpAndDown) {
+  ThresholdDetector d(0.9);
+  d.update(0.5);
+  EXPECT_EQ(d.update(0.95), Crossing::kUp);
+  EXPECT_EQ(d.update(0.99), Crossing::kNone);
+  EXPECT_EQ(d.update(0.2), Crossing::kDown);
+  EXPECT_EQ(d.update(0.1), Crossing::kNone);
+}
+
+TEST(ThresholdDetector, ExactThresholdCountsAsAbove) {
+  ThresholdDetector d(0.9);
+  d.update(0.5);
+  EXPECT_EQ(d.update(0.9), Crossing::kUp);
+}
+
+TEST(ThresholdDetector, ResetForgetsState) {
+  ThresholdDetector d(0.9);
+  d.update(0.95);
+  d.reset();
+  EXPECT_FALSE(d.primed());
+  EXPECT_EQ(d.update(0.95), Crossing::kNone);
+}
+
+TEST(ThresholdDetector, OscillationProducesAlternatingCrossings) {
+  ThresholdDetector d(0.5);
+  d.update(0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.update(0.6), Crossing::kUp);
+    EXPECT_EQ(d.update(0.4), Crossing::kDown);
+  }
+}
+
+TEST(UtilizationMonitor, TracksBusyFraction) {
+  sim::Engine e;
+  Host h(e, 0, 100.0);
+  UtilizationMonitor m;
+  h.set_status_listener([&](const Host& host) { m.sample(e.now(), host); });
+  Task t;
+  t.id = 1;
+  t.size_seconds = 5.0;
+  h.try_enqueue(t);
+  e.run();           // busy on [0,5)
+  e.run_until(10.0); // idle on [5,10)
+  m.sample(10.0, h);
+  EXPECT_NEAR(m.utilization(10.0), 0.5, 1e-9);
+}
+
+TEST(UtilizationMonitor, TracksAverageOccupancy) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  UtilizationMonitor m;
+  h.set_status_listener([&](const Host& host) { m.sample(e.now(), host); });
+  Task t;
+  t.id = 1;
+  t.size_seconds = 10.0;
+  h.try_enqueue(t);  // occupancy starts at 1.0 and drains linearly
+  e.run();
+  m.sample(10.0, h);
+  // Sampled occupancy is piecewise-constant between events (1.0 until the
+  // completion event), so the time-weighted average here is 1.0.
+  EXPECT_NEAR(m.average_occupancy(10.0), 1.0, 1e-9);
+  EXPECT_EQ(m.occupancy_samples().count(), 3u);  // enqueue + completion + final
+}
+
+TEST(UtilizationMonitor, ResetClears) {
+  sim::Engine e;
+  Host h(e, 0, 10.0);
+  UtilizationMonitor m;
+  m.sample(0.0, h);
+  m.reset();
+  EXPECT_EQ(m.occupancy_samples().count(), 0u);
+  EXPECT_DOUBLE_EQ(m.utilization(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace realtor::node

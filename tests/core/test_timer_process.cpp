@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "sim/timer.hpp"
+
+namespace realtor::sim {
+namespace {
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Engine e;
+  Timer t(e);
+  int fired = 0;
+  t.arm(2.0, [&] { ++fired; });
+  EXPECT_TRUE(t.active());
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.active());
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Timer, RearmReplacesPrevious) {
+  Engine e;
+  Timer t(e);
+  int first = 0, second = 0;
+  t.arm(2.0, [&] { ++first; });
+  t.arm(5.0, [&] { ++second; });
+  e.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Engine e;
+  Timer t(e);
+  int fired = 0;
+  t.arm(2.0, [&] { ++fired; });
+  t.cancel();
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RestartExtendsDeadlineKeepingCallback) {
+  Engine e;
+  Timer t(e);
+  SimTime fired_at = -1.0;
+  t.arm(1.0, [&] { fired_at = e.now(); });
+  e.schedule_at(0.5, [&] { t.restart(1.0); });  // push expiry to 1.5
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Timer, CallbackMayRearmItself) {
+  Engine e;
+  Timer t(e);
+  int count = 0;
+  t.arm(1.0, [&] {
+    if (++count < 3) t.restart(1.0);
+  });
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Timer, DestructorCancels) {
+  Engine e;
+  int fired = 0;
+  {
+    Timer t(e);
+    t.arm(1.0, [&] { ++fired; });
+  }
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicProcess, TicksAtInterval) {
+  Engine e;
+  std::vector<SimTime> ticks;
+  PeriodicProcess p(e, 1.0, [&] { ticks.push_back(e.now()); });
+  p.start();
+  e.run_until(3.5);
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 3.0);
+}
+
+TEST(PeriodicProcess, StopHalts) {
+  Engine e;
+  int ticks = 0;
+  PeriodicProcess p(e, 1.0, [&] { ++ticks; });
+  p.start();
+  e.schedule_at(2.5, [&] { p.stop(); });
+  e.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicProcess, DoubleStartIsIdempotent) {
+  Engine e;
+  int ticks = 0;
+  PeriodicProcess p(e, 1.0, [&] { ++ticks; });
+  p.start();
+  p.start();
+  e.run_until(2.5);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicProcess, SetIntervalWhileRunningReschedules) {
+  Engine e;
+  std::vector<SimTime> ticks;
+  PeriodicProcess p(e, 1.0, [&] { ticks.push_back(e.now()); });
+  p.start();
+  e.schedule_at(1.5, [&] { p.set_interval(2.0); });
+  e.run_until(6.0);
+  // Tick at 1.0; interval change at 1.5 -> next ticks 3.5, 5.5.
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 3.5);
+  EXPECT_DOUBLE_EQ(ticks[2], 5.5);
+}
+
+TEST(PeriodicProcess, RestartAfterStop) {
+  Engine e;
+  int ticks = 0;
+  PeriodicProcess p(e, 1.0, [&] { ++ticks; });
+  p.start();
+  e.schedule_at(1.5, [&] { p.stop(); });
+  e.schedule_at(4.0, [&] { p.start(); });
+  e.run_until(6.5);
+  // Ticks at 1.0, then (restarted at 4.0) at 5.0 and 6.0.
+  EXPECT_EQ(ticks, 3);
+}
+
+}  // namespace
+}  // namespace realtor::sim

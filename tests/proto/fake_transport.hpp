@@ -1,0 +1,44 @@
+// Scripted transport for protocol unit tests: records every send and lets
+// the test deliver, duplicate, drop or reorder messages explicitly.
+#pragma once
+
+#include <vector>
+
+#include "proto/transport.hpp"
+
+namespace realtor::proto::testing {
+
+struct SentFlood {
+  NodeId origin;
+  Message msg;
+};
+
+struct SentUnicast {
+  NodeId from;
+  NodeId to;
+  Message msg;
+};
+
+class FakeTransport final : public Transport {
+ public:
+  void flood(NodeId origin, const Message& msg) override {
+    floods.push_back(SentFlood{origin, msg});
+  }
+
+  void unicast(NodeId from, NodeId to, const Message& msg) override {
+    unicasts.push_back(SentUnicast{from, to, msg});
+  }
+
+  std::size_t flood_count() const { return floods.size(); }
+  std::size_t unicast_count() const { return unicasts.size(); }
+
+  void clear() {
+    floods.clear();
+    unicasts.clear();
+  }
+
+  std::vector<SentFlood> floods;
+  std::vector<SentUnicast> unicasts;
+};
+
+}  // namespace realtor::proto::testing

@@ -1,0 +1,128 @@
+#include "proto/algorithm_h.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realtor::proto {
+namespace {
+
+ProtocolConfig base_config() {
+  ProtocolConfig c;
+  c.help_threshold = 0.9;
+  c.initial_help_interval = 1.0;
+  c.help_upper_limit = 100.0;
+  c.help_interval_floor = 0.1;
+  c.alpha = 1.0;
+  c.beta = 0.5;
+  c.help_timeout = 1.0;
+  return c;
+}
+
+TEST(AlgorithmH, TriggersOnlyAboveThreshold) {
+  AlgorithmH h(base_config());
+  EXPECT_FALSE(h.should_send_help(10.0, 0.5));
+  EXPECT_FALSE(h.should_send_help(10.0, 0.89));
+  EXPECT_TRUE(h.should_send_help(10.0, 0.9));
+  EXPECT_TRUE(h.should_send_help(10.0, 1.2));  // would-exceed counts too
+}
+
+TEST(AlgorithmH, FirstHelpAllowedImmediately) {
+  AlgorithmH h(base_config());
+  EXPECT_TRUE(h.should_send_help(0.0, 0.95));
+}
+
+TEST(AlgorithmH, IntervalGatesRepeatedHelp) {
+  AlgorithmH h(base_config());
+  h.note_help_sent(0.0);
+  EXPECT_FALSE(h.should_send_help(0.5, 0.95));
+  EXPECT_FALSE(h.should_send_help(1.0, 0.95));  // strictly greater required
+  EXPECT_TRUE(h.should_send_help(1.01, 0.95));
+}
+
+TEST(AlgorithmH, TimeoutGrowsIntervalGeometrically) {
+  AlgorithmH h(base_config());
+  h.note_help_sent(0.0);
+  h.note_timeout();
+  EXPECT_DOUBLE_EQ(h.interval(), 2.0);
+  h.note_timeout();
+  EXPECT_DOUBLE_EQ(h.interval(), 4.0);
+  EXPECT_EQ(h.timeouts(), 2u);
+}
+
+TEST(AlgorithmH, IntervalCappedAtUpperLimit) {
+  AlgorithmH h(base_config());
+  h.note_help_sent(0.0);
+  for (int i = 0; i < 20; ++i) h.note_timeout();
+  EXPECT_DOUBLE_EQ(h.interval(), 100.0);
+}
+
+TEST(AlgorithmH, SuccessShrinksInterval) {
+  AlgorithmH h(base_config());
+  h.note_help_sent(0.0);
+  h.note_timeout();
+  h.note_timeout();  // interval 4.0
+  h.note_success();
+  EXPECT_DOUBLE_EQ(h.interval(), 2.0);
+  EXPECT_EQ(h.rewards(), 1u);
+}
+
+TEST(AlgorithmH, IntervalFloored) {
+  AlgorithmH h(base_config());
+  for (int i = 0; i < 20; ++i) h.note_success();
+  EXPECT_DOUBLE_EQ(h.interval(), 0.1);
+}
+
+TEST(AlgorithmH, PledgeKeepsRoundOpenUntilTimeout) {
+  AlgorithmH h(base_config());
+  h.note_help_sent(0.0);
+  EXPECT_TRUE(h.awaiting_response());
+  EXPECT_TRUE(h.note_pledge());   // round open: driver restarts timer
+  EXPECT_TRUE(h.note_pledge());   // still open
+  h.note_timeout();
+  EXPECT_FALSE(h.awaiting_response());
+  EXPECT_FALSE(h.note_pledge());  // round closed: stray pledge
+}
+
+TEST(AlgorithmH, ClaimRoundRewardOncePerRound) {
+  ProtocolConfig c = base_config();
+  AlgorithmH h(c);
+  h.note_help_sent(0.0);
+  h.note_timeout();
+  h.note_timeout();  // interval 4.0
+  h.note_help_sent(10.0);
+  EXPECT_TRUE(h.claim_round_reward());
+  EXPECT_DOUBLE_EQ(h.interval(), 2.0);
+  EXPECT_FALSE(h.claim_round_reward());  // second pledge, same round
+  EXPECT_DOUBLE_EQ(h.interval(), 2.0);
+  h.note_timeout();
+  h.note_help_sent(20.0);
+  EXPECT_TRUE(h.claim_round_reward());  // new round may reward again
+}
+
+TEST(AlgorithmH, ClaimRewardOutsideRoundIsNoop) {
+  AlgorithmH h(base_config());
+  EXPECT_FALSE(h.claim_round_reward());
+  EXPECT_DOUBLE_EQ(h.interval(), 1.0);
+}
+
+TEST(AlgorithmH, HelpsSentCounted) {
+  AlgorithmH h(base_config());
+  EXPECT_DOUBLE_EQ(h.note_help_sent(0.0), 1.0);  // returns timeout duration
+  h.note_timeout();
+  h.note_help_sent(5.0);
+  EXPECT_EQ(h.helps_sent(), 2u);
+  EXPECT_DOUBLE_EQ(h.last_help_time(), 5.0);
+}
+
+TEST(AlgorithmH, GrowthStopsExactlyBelowUpperLimit) {
+  // Fig. 2: grow only while (interval + interval*alpha) < Upper_limit.
+  ProtocolConfig c = base_config();
+  c.initial_help_interval = 60.0;
+  c.alpha = 1.0;
+  AlgorithmH h(c);
+  h.note_help_sent(0.0);
+  h.note_timeout();  // 60 + 60 = 120 >= 100 -> clamp to 100
+  EXPECT_DOUBLE_EQ(h.interval(), 100.0);
+}
+
+}  // namespace
+}  // namespace realtor::proto

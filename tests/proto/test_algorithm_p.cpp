@@ -1,0 +1,50 @@
+#include "proto/algorithm_p.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realtor::proto {
+namespace {
+
+ProtocolConfig config_with_threshold(double threshold) {
+  ProtocolConfig c;
+  c.pledge_threshold = threshold;
+  return c;
+}
+
+TEST(AlgorithmP, PledgesOnHelpOnlyBelowThreshold) {
+  AlgorithmP p(config_with_threshold(0.9));
+  EXPECT_TRUE(p.should_pledge_on_help(0.0));
+  EXPECT_TRUE(p.should_pledge_on_help(0.89));
+  EXPECT_FALSE(p.should_pledge_on_help(0.9));
+  EXPECT_FALSE(p.should_pledge_on_help(1.0));
+}
+
+TEST(AlgorithmP, StatusCrossingsReported) {
+  AlgorithmP p(config_with_threshold(0.9));
+  EXPECT_EQ(p.note_status(0.0, 0.1), node::Crossing::kNone);
+  EXPECT_EQ(p.note_status(1.0, 0.95), node::Crossing::kUp);
+  EXPECT_EQ(p.note_status(2.0, 0.97), node::Crossing::kNone);
+  EXPECT_EQ(p.note_status(3.0, 0.5), node::Crossing::kDown);
+}
+
+TEST(AlgorithmP, GrantProbabilityDefaultsToOne) {
+  AlgorithmP p(config_with_threshold(0.9));
+  EXPECT_DOUBLE_EQ(p.grant_probability(0.0), 1.0);
+}
+
+TEST(AlgorithmP, GrantProbabilityTracksTimeBelowThreshold) {
+  AlgorithmP p(config_with_threshold(0.5));
+  p.note_status(0.0, 0.1);   // below on [0, 10)
+  p.note_status(10.0, 0.9);  // above on [10, 20)
+  EXPECT_NEAR(p.grant_probability(20.0), 0.5, 1e-9);
+  p.note_status(20.0, 0.1);  // below on [20, 40)
+  EXPECT_NEAR(p.grant_probability(40.0), 0.75, 1e-9);
+}
+
+TEST(AlgorithmP, ThresholdAccessor) {
+  AlgorithmP p(config_with_threshold(0.75));
+  EXPECT_DOUBLE_EQ(p.threshold(), 0.75);
+}
+
+}  // namespace
+}  // namespace realtor::proto

@@ -1,0 +1,76 @@
+#include "proto/availability_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace realtor::proto {
+namespace {
+
+RngStream make_rng() { return RngStream(2, "table-ties"); }
+
+TEST(AvailabilityTable, UnknownPeersAreNotCandidates) {
+  AvailabilityTable table(0, 0.1);
+  EXPECT_DOUBLE_EQ(table.availability(5), 0.0);
+  EXPECT_FALSE(table.heard_from(5));
+  auto rng = make_rng();
+  EXPECT_TRUE(table.candidates({1, 2, 3}, rng).empty());
+}
+
+TEST(AvailabilityTable, UpdateMakesCandidate) {
+  AvailabilityTable table(0, 0.1);
+  table.update(1, 0.7, 0.0);
+  table.update(2, 0.05, 0.0);  // advertised unavailable
+  auto rng = make_rng();
+  const auto c = table.candidates({1, 2, 3}, rng);
+  EXPECT_EQ(c, (std::vector<NodeId>{1}));
+}
+
+TEST(AvailabilityTable, SelfNeverCandidate) {
+  AvailabilityTable table(1, 0.1);
+  table.update(1, 1.0, 0.0);
+  auto rng = make_rng();
+  EXPECT_TRUE(table.candidates({1}, rng).empty());
+}
+
+TEST(AvailabilityTable, SortedByAvailability) {
+  AvailabilityTable table(0, 0.1);
+  table.update(1, 0.2, 0.0);
+  table.update(2, 0.9, 0.0);
+  table.update(3, 0.5, 0.0);
+  auto rng = make_rng();
+  EXPECT_EQ(table.candidates({1, 2, 3}, rng),
+            (std::vector<NodeId>{2, 3, 1}));
+}
+
+TEST(AvailabilityTable, LastAdvertisementWins) {
+  AvailabilityTable table(0, 0.1);
+  table.update(1, 0.9, 0.0);
+  table.update(1, 0.2, 5.0);
+  EXPECT_DOUBLE_EQ(table.availability(1), 0.2);
+}
+
+TEST(AvailabilityTable, DebitAndInvalidate) {
+  AvailabilityTable table(0, 0.1);
+  table.update(1, 0.6, 0.0);
+  table.debit(1, 0.2);
+  EXPECT_DOUBLE_EQ(table.availability(1), 0.4);
+  table.debit(1, 1.0);
+  EXPECT_DOUBLE_EQ(table.availability(1), 0.0);
+  table.update(1, 0.8, 1.0);
+  table.invalidate(1);
+  EXPECT_DOUBLE_EQ(table.availability(1), 0.0);
+  // Debit of a never-heard peer is a no-op, not a materialization.
+  table.debit(9, 0.5);
+  EXPECT_FALSE(table.heard_from(9));
+}
+
+TEST(AvailabilityTable, CandidatesOnlyFromGivenPeerSet) {
+  AvailabilityTable table(0, 0.1);
+  table.update(1, 0.9, 0.0);
+  table.update(2, 0.9, 0.0);
+  auto rng = make_rng();
+  // Peer 2 is not in the peer set (e.g. currently dead): excluded.
+  EXPECT_EQ(table.candidates({1, 3}, rng), (std::vector<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace realtor::proto

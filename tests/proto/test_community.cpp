@@ -1,0 +1,91 @@
+#include "proto/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace realtor::proto {
+namespace {
+
+TEST(CommunityMembership, JoinAndExpire) {
+  CommunityMembership m(100.0, 0);
+  EXPECT_TRUE(m.note_refresh_answered(1, 0.0));
+  EXPECT_TRUE(m.is_member_of(1, 50.0));
+  EXPECT_TRUE(m.is_member_of(1, 100.0));
+  EXPECT_FALSE(m.is_member_of(1, 100.1));
+}
+
+TEST(CommunityMembership, RefreshExtends) {
+  CommunityMembership m(100.0, 0);
+  m.note_refresh_answered(1, 0.0);
+  m.note_refresh_answered(1, 80.0);
+  EXPECT_TRUE(m.is_member_of(1, 150.0));
+}
+
+TEST(CommunityMembership, CountAndActiveOrganizers) {
+  CommunityMembership m(100.0, 0);
+  m.note_refresh_answered(1, 0.0);
+  m.note_refresh_answered(2, 50.0);
+  EXPECT_EQ(m.count(60.0), 2u);
+  EXPECT_EQ(m.count(120.0), 1u);  // organizer 1 expired
+  const auto active = m.active_organizers(120.0);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], 2u);
+}
+
+TEST(CommunityMembership, CapEvictsStalestMembership) {
+  CommunityMembership m(100.0, 2);
+  m.note_refresh_answered(1, 0.0);
+  m.note_refresh_answered(2, 10.0);
+  // Budget full; organizer 3's fresher HELP evicts organizer 1.
+  EXPECT_TRUE(m.note_refresh_answered(3, 20.0));
+  EXPECT_FALSE(m.is_member_of(1, 20.0));
+  EXPECT_TRUE(m.is_member_of(2, 20.0));
+  EXPECT_TRUE(m.is_member_of(3, 20.0));
+  EXPECT_EQ(m.count(20.0), 2u);
+}
+
+TEST(CommunityMembership, RefreshOfExistingMemberNeverEvicts) {
+  CommunityMembership m(100.0, 2);
+  m.note_refresh_answered(1, 0.0);
+  m.note_refresh_answered(2, 10.0);
+  EXPECT_TRUE(m.note_refresh_answered(1, 20.0));  // refresh, not a join
+  EXPECT_TRUE(m.is_member_of(2, 20.0));
+  EXPECT_EQ(m.count(20.0), 2u);
+}
+
+TEST(CommunityMembership, ExpiredMembershipsFreeBudget) {
+  CommunityMembership m(10.0, 1);
+  m.note_refresh_answered(1, 0.0);
+  // At t=50 organizer 1's membership is long gone: no eviction needed.
+  EXPECT_TRUE(m.note_refresh_answered(2, 50.0));
+  EXPECT_EQ(m.count(50.0), 1u);
+  EXPECT_FALSE(m.is_member_of(1, 50.0));
+}
+
+TEST(CommunityMembership, PruneRemovesExpired) {
+  CommunityMembership m(10.0, 0);
+  m.note_refresh_answered(1, 0.0);
+  m.note_refresh_answered(2, 5.0);
+  m.prune(12.0);
+  EXPECT_FALSE(m.is_member_of(1, 12.0));
+  EXPECT_TRUE(m.is_member_of(2, 12.0));
+}
+
+TEST(CommunityMembership, UnlimitedWhenMaxIsZero) {
+  CommunityMembership m(100.0, 0);
+  for (NodeId org = 0; org < 50; ++org) {
+    EXPECT_TRUE(m.note_refresh_answered(org, 1.0));
+  }
+  EXPECT_EQ(m.count(1.0), 50u);
+}
+
+TEST(CommunityMembership, ClearEmpties) {
+  CommunityMembership m(100.0, 0);
+  m.note_refresh_answered(1, 0.0);
+  m.clear();
+  EXPECT_EQ(m.count(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace realtor::proto

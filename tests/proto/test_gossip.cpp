@@ -1,0 +1,217 @@
+#include "proto/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_transport.hpp"
+#include "net/topology.hpp"
+#include "proto/factory.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::proto {
+namespace {
+
+using testing::FakeTransport;
+
+class GossipTest : public ::testing::Test {
+ protected:
+  ProtocolEnv make_env() {
+    ProtocolEnv env;
+    env.engine = &engine_;
+    env.topology = &topo_;
+    env.transport = &transport_;
+    env.local_occupancy = [this] { return occupancy_; };
+    env.seed = 7;
+    return env;
+  }
+
+  ProtocolConfig config_;
+  sim::Engine engine_;
+  net::Topology topo_ = net::make_mesh(3, 3);
+  FakeTransport transport_;
+  double occupancy_ = 0.0;
+};
+
+TEST_F(GossipTest, RoundsSendFanoutUnicasts) {
+  config_.gossip_interval = 1.0;
+  config_.gossip_fanout = 2;
+  GossipProtocol p(0, config_, make_env());
+  p.start();
+  engine_.run_until(3.5);
+  EXPECT_EQ(transport_.unicast_count(), 6u);  // 3 rounds x fanout 2
+  for (const auto& sent : transport_.unicasts) {
+    const auto& gossip = std::get<GossipMsg>(sent.msg);
+    EXPECT_EQ(gossip.origin, 0u);
+    EXPECT_FALSE(gossip.reply);
+    ASSERT_FALSE(gossip.digest.empty());
+  }
+}
+
+TEST_F(GossipTest, SelfEntryVersionGrowsWithStatusChanges) {
+  GossipProtocol p(0, config_, make_env());
+  const auto v0 = p.version_of(0);
+  p.on_status_change(0.5);
+  p.on_status_change(0.7);
+  EXPECT_EQ(p.version_of(0), v0 + 2);
+  EXPECT_DOUBLE_EQ(p.availability_of(0), 0.3);
+}
+
+TEST_F(GossipTest, MergeTakesNewerVersionsOnly) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg msg;
+  msg.origin = 3;
+  msg.reply = true;  // replies are not re-answered
+  msg.digest = {DigestEntry{3, 0.8, 5, 255}, DigestEntry{4, 0.6, 2, 255}};
+  p.on_message(3, Message{msg});
+  EXPECT_DOUBLE_EQ(p.availability_of(3), 0.8);
+  EXPECT_DOUBLE_EQ(p.availability_of(4), 0.6);
+
+  // Stale update for node 3 (version 4 < 5) is ignored; newer one wins.
+  GossipMsg stale;
+  stale.origin = 4;
+  stale.reply = true;
+  stale.digest = {DigestEntry{3, 0.1, 4, 255}};
+  p.on_message(4, Message{stale});
+  EXPECT_DOUBLE_EQ(p.availability_of(3), 0.8);
+
+  GossipMsg fresh;
+  fresh.origin = 4;
+  fresh.reply = true;
+  fresh.digest = {DigestEntry{3, 0.2, 6, 255}};
+  p.on_message(4, Message{fresh});
+  EXPECT_DOUBLE_EQ(p.availability_of(3), 0.2);
+}
+
+TEST_F(GossipTest, PushTriggersPullReply) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg push;
+  push.origin = 5;
+  push.reply = false;
+  push.digest = {DigestEntry{5, 0.9, 1, 255}};
+  p.on_message(5, Message{push});
+  ASSERT_EQ(transport_.unicast_count(), 1u);
+  EXPECT_EQ(transport_.unicasts[0].to, 5u);
+  const auto& reply = std::get<GossipMsg>(transport_.unicasts[0].msg);
+  EXPECT_TRUE(reply.reply);
+  // Our reply digest already contains the merged entry for node 5.
+  bool has_5 = false;
+  for (const auto& entry : reply.digest) {
+    if (entry.node == 5) has_5 = true;
+  }
+  EXPECT_TRUE(has_5);
+}
+
+TEST_F(GossipTest, ReplyDoesNotCauseReplyStorm) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg reply;
+  reply.origin = 5;
+  reply.reply = true;
+  reply.digest = {DigestEntry{5, 0.9, 1, 255}};
+  p.on_message(5, Message{reply});
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+}
+
+TEST_F(GossipTest, CandidatesRankedAndFiltered) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg msg;
+  msg.origin = 1;
+  msg.reply = true;
+  msg.digest = {DigestEntry{1, 0.9, 1, 1}, DigestEntry{2, 0.5, 1, 3},
+                DigestEntry{3, 0.05, 1, 255}};
+  p.on_message(1, Message{msg});
+  EXPECT_EQ(p.migration_candidates(), (std::vector<NodeId>{1, 2}));
+  CandidateQuery secure;
+  secure.min_security = 2;
+  EXPECT_EQ(p.migration_candidates(secure), (std::vector<NodeId>{2}));
+}
+
+TEST_F(GossipTest, DeadPeersExcludedFromCandidates) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg msg;
+  msg.origin = 1;
+  msg.reply = true;
+  msg.digest = {DigestEntry{1, 0.9, 1, 255}};
+  p.on_message(1, Message{msg});
+  topo_.set_alive(1, false);
+  EXPECT_TRUE(p.migration_candidates().empty());
+}
+
+TEST_F(GossipTest, MigrationFeedbackAdjustsDigest) {
+  GossipProtocol p(0, config_, make_env());
+  GossipMsg msg;
+  msg.origin = 1;
+  msg.reply = true;
+  msg.digest = {DigestEntry{1, 0.9, 1, 255}};
+  p.on_message(1, Message{msg});
+  p.on_migration_result(1, 0.3, true);
+  EXPECT_NEAR(p.availability_of(1), 0.6, 1e-9);
+  p.on_migration_result(1, 0.3, false);
+  EXPECT_DOUBLE_EQ(p.availability_of(1), 0.0);
+}
+
+TEST_F(GossipTest, IgnoresForeignMessageTypes) {
+  GossipProtocol p(0, config_, make_env());
+  p.on_message(1, Message{HelpMsg{1, 0, 0.1}});
+  p.on_message(1, Message{PledgeMsg{1, 0.9, 0, 1.0}});
+  p.on_message(1, Message{PushAdvertMsg{1, 0.9}});
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+  EXPECT_EQ(p.digest_size(), 1u);  // only the self entry
+}
+
+// Convergence property: in a fully driven network, every node learns every
+// other node's latest availability within a few rounds.
+TEST(GossipConvergence, DigestsConvergeAcrossNodes) {
+  sim::Engine engine;
+  net::Topology topo = net::make_mesh(3, 3);
+  std::vector<std::unique_ptr<DiscoveryProtocol>> protocols;
+  std::vector<GossipProtocol*> gossips;
+  std::vector<double> occupancy(9, 0.0);
+
+  // Loop-back transport delivering directly between instances.
+  class LoopTransport final : public Transport {
+   public:
+    explicit LoopTransport(std::vector<std::unique_ptr<DiscoveryProtocol>>& p,
+                           sim::Engine& e)
+        : protocols_(p), engine_(e) {}
+    void flood(NodeId, const Message&) override {}
+    void unicast(NodeId from, NodeId to, const Message& msg) override {
+      engine_.schedule_in(0.0, [this, from, to, msg] {
+        protocols_[to]->on_message(from, msg);
+      });
+    }
+
+   private:
+    std::vector<std::unique_ptr<DiscoveryProtocol>>& protocols_;
+    sim::Engine& engine_;
+  };
+  LoopTransport transport(protocols, engine);
+
+  ProtocolConfig config;
+  config.gossip_interval = 1.0;
+  config.gossip_fanout = 2;
+  for (NodeId id = 0; id < 9; ++id) {
+    ProtocolEnv env;
+    env.engine = &engine;
+    env.topology = &topo;
+    env.transport = &transport;
+    env.local_occupancy = [&occupancy, id] { return occupancy[id]; };
+    env.seed = 11;
+    auto p = std::make_unique<GossipProtocol>(id, config, std::move(env));
+    gossips.push_back(p.get());
+    protocols.push_back(std::move(p));
+  }
+  for (NodeId id = 0; id < 9; ++id) {
+    occupancy[id] = 0.1 * static_cast<double>(id);
+    protocols[id]->on_status_change(occupancy[id]);
+    protocols[id]->start();
+  }
+  engine.run_until(10.0);  // ~10 rounds: far beyond the O(log N) spread
+  for (NodeId a = 0; a < 9; ++a) {
+    for (NodeId b = 0; b < 9; ++b) {
+      EXPECT_NEAR(gossips[a]->availability_of(b), 1.0 - occupancy[b], 1e-9)
+          << "node " << a << " view of " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace realtor::proto

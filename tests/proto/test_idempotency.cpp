@@ -1,0 +1,170 @@
+// Property tests of the paper's statelessness claims (§4): protocol state
+// must be insensitive to duplicate and reordered message delivery, and a
+// node restarting cold must converge again — "node failures do not give
+// raise to errors".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fake_transport.hpp"
+#include "net/topology.hpp"
+#include "proto/factory.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::proto {
+namespace {
+
+using testing::FakeTransport;
+
+struct Harness {
+  sim::Engine engine;
+  net::Topology topo = net::make_mesh(3, 3);
+  FakeTransport transport;
+  double occupancy = 0.3;
+  ProtocolConfig config;
+
+  std::unique_ptr<DiscoveryProtocol> make(ProtocolKind kind) {
+    ProtocolEnv env;
+    env.engine = &engine;
+    env.topology = &topo;
+    env.transport = &transport;
+    env.local_occupancy = [this] { return occupancy; };
+    env.seed = 3;
+    return make_protocol(kind, 0, config, std::move(env));
+  }
+};
+
+std::vector<Message> sample_inbound() {
+  std::vector<Message> msgs;
+  msgs.emplace_back(PledgeMsg{3, 0.8, 2, 0.9});
+  msgs.emplace_back(PledgeMsg{4, 0.6, 1, 0.8});
+  msgs.emplace_back(PushAdvertMsg{5, 0.7});
+  msgs.emplace_back(PledgeMsg{6, 0.05, 0, 0.1});
+  msgs.emplace_back(PushAdvertMsg{7, 0.4});
+  msgs.emplace_back(HelpMsg{8, 3, 0.2});
+  GossipMsg gossip;
+  gossip.origin = 2;
+  gossip.reply = true;
+  gossip.digest = {DigestEntry{2, 0.75, 3, 255},
+                   DigestEntry{5, 0.55, 1, 255}};
+  msgs.emplace_back(std::move(gossip));
+  return msgs;
+}
+
+NodeId sender_of(const Message& msg) {
+  if (const auto* p = std::get_if<PledgeMsg>(&msg)) return p->pledger;
+  if (const auto* a = std::get_if<PushAdvertMsg>(&msg)) return a->origin;
+  if (const auto* g = std::get_if<GossipMsg>(&msg)) return g->origin;
+  return std::get<HelpMsg>(msg).origin;
+}
+
+class IdempotencyTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(IdempotencyTest, DuplicateDeliveryLeavesCandidatesUnchanged) {
+  Harness once, twice;
+  auto p1 = once.make(GetParam());
+  auto p2 = twice.make(GetParam());
+  for (const Message& msg : sample_inbound()) {
+    p1->on_message(sender_of(msg), msg);
+    p2->on_message(sender_of(msg), msg);
+    p2->on_message(sender_of(msg), msg);  // duplicate every message
+  }
+  EXPECT_EQ(p1->migration_candidates().size(),
+            p2->migration_candidates().size());
+}
+
+TEST_P(IdempotencyTest, ReorderedDeliveryYieldsSameCandidateSet) {
+  Harness forward, shuffled;
+  auto p1 = forward.make(GetParam());
+  auto p2 = shuffled.make(GetParam());
+  auto msgs = sample_inbound();
+  for (const Message& msg : msgs) p1->on_message(sender_of(msg), msg);
+  // Reversal keeps per-sender ordering trivial here because each sender
+  // appears once — the candidate *set* must match exactly.
+  std::reverse(msgs.begin(), msgs.end());
+  for (const Message& msg : msgs) p2->on_message(sender_of(msg), msg);
+
+  auto c1 = p1->migration_candidates();
+  auto c2 = p2->migration_candidates();
+  std::sort(c1.begin(), c1.end());
+  std::sort(c2.begin(), c2.end());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST_P(IdempotencyTest, ColdRestartConvergesAgain) {
+  Harness h;
+  auto p = h.make(GetParam());
+  for (const Message& msg : sample_inbound()) {
+    p->on_message(sender_of(msg), msg);
+  }
+  p->on_self_killed();
+  p->on_self_restored();
+  // Replaying the same traffic rebuilds an equivalent view.
+  for (const Message& msg : sample_inbound()) {
+    p->on_message(sender_of(msg), msg);
+  }
+  Harness fresh;
+  auto q = fresh.make(GetParam());
+  for (const Message& msg : sample_inbound()) {
+    q->on_message(sender_of(msg), msg);
+  }
+  auto cp = p->migration_candidates();
+  auto cq = q->migration_candidates();
+  std::sort(cp.begin(), cp.end());
+  std::sort(cq.begin(), cq.end());
+  EXPECT_EQ(cp, cq);
+}
+
+TEST_P(IdempotencyTest, StrayMessagesNeverCrash) {
+  Harness h;
+  auto p = h.make(GetParam());
+  RngStream rng(99, "stray");
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.uniform_index(9));
+    const double avail = rng.uniform01();
+    switch (rng.uniform_index(4)) {
+      case 0:
+        p->on_message(from, Message{HelpMsg{from, 0, avail}});
+        break;
+      case 1:
+        p->on_message(from, Message{PledgeMsg{from, avail, 1, avail}});
+        break;
+      case 2: {
+        GossipMsg gossip;
+        gossip.origin = from;
+        gossip.reply = rng.bernoulli(0.5);
+        gossip.digest = {DigestEntry{from, avail, rng.next_u64() % 100, 255}};
+        p->on_message(from, Message{std::move(gossip)});
+        break;
+      }
+      default:
+        p->on_message(from, Message{PushAdvertMsg{from, avail}});
+        break;
+    }
+    if (rng.bernoulli(0.05)) {
+      p->on_task_arrival(rng.uniform(0.0, 1.2));
+    }
+    if (rng.bernoulli(0.05)) {
+      p->on_status_change(rng.uniform01());
+    }
+  }
+  h.engine.run_until(200.0);  // drain timers
+  // Candidates are well-formed: no self, all within the node range.
+  for (const NodeId c : p->migration_candidates()) {
+    EXPECT_NE(c, 0u);
+    EXPECT_LT(c, 9u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, IdempotencyTest,
+                         ::testing::ValuesIn(kExtendedProtocolKinds),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& i) {
+                           std::string name = to_string(i.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace realtor::proto

@@ -1,0 +1,120 @@
+#include "proto/pledge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace realtor::proto {
+namespace {
+
+RngStream make_rng() { return RngStream(1, "test-ties"); }
+
+TEST(PledgeList, UpdateAndGet) {
+  PledgeList list(100.0, 0.1);
+  list.update(3, 0.8, 0.9, 10.0);
+  ASSERT_TRUE(list.contains(3));
+  const auto entry = list.get(3);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->availability, 0.8);
+  EXPECT_DOUBLE_EQ(entry->grant_probability, 0.9);
+  EXPECT_DOUBLE_EQ(entry->updated, 10.0);
+}
+
+TEST(PledgeList, UpdateIsIdempotent) {
+  PledgeList list(100.0, 0.1);
+  list.update(3, 0.8, 0.9, 10.0);
+  list.update(3, 0.8, 0.9, 10.0);  // duplicate delivery
+  EXPECT_EQ(list.size(10.0), 1u);
+}
+
+TEST(PledgeList, EntriesExpireAfterTtl) {
+  PledgeList list(100.0, 0.1);
+  list.update(3, 0.8, 1.0, 0.0);
+  EXPECT_EQ(list.size(100.0), 1u);   // exactly at TTL still live
+  EXPECT_EQ(list.size(100.1), 0u);   // past TTL invisible
+  list.expire(100.1);
+  EXPECT_FALSE(list.contains(3));
+}
+
+TEST(PledgeList, RefreshExtendsLifetime) {
+  PledgeList list(100.0, 0.1);
+  list.update(3, 0.8, 1.0, 0.0);
+  list.update(3, 0.7, 1.0, 90.0);
+  list.expire(150.0);
+  EXPECT_TRUE(list.contains(3));
+}
+
+TEST(PledgeList, CandidatesSortedByAvailability) {
+  PledgeList list(100.0, 0.1);
+  list.update(1, 0.3, 1.0, 0.0);
+  list.update(2, 0.9, 1.0, 0.0);
+  list.update(3, 0.6, 1.0, 0.0);
+  auto rng = make_rng();
+  const auto candidates = list.candidates(1.0, rng);
+  EXPECT_EQ(candidates, (std::vector<NodeId>{2, 3, 1}));
+}
+
+TEST(PledgeList, CandidatesExcludeFloorAndExpired) {
+  PledgeList list(100.0, 0.1);
+  list.update(1, 0.05, 1.0, 0.0);  // at/below floor: pledged "unavailable"
+  list.update(2, 0.10, 1.0, 0.0);  // exactly at floor: excluded
+  list.update(3, 0.50, 1.0, 0.0);
+  list.update(4, 0.90, 1.0, 0.0);
+  auto rng = make_rng();
+  const auto c1 = list.candidates(50.0, rng);
+  EXPECT_EQ(c1, (std::vector<NodeId>{4, 3}));
+  // Node 4's entry is stale at t=120 (updated at 0, ttl 100).
+  list.update(3, 0.50, 1.0, 60.0);
+  const auto c2 = list.candidates(120.0, rng);
+  EXPECT_EQ(c2, (std::vector<NodeId>{3}));
+}
+
+TEST(PledgeList, DebitReducesAvailability) {
+  PledgeList list(100.0, 0.1);
+  list.update(1, 0.5, 1.0, 0.0);
+  list.debit(1, 0.3);
+  EXPECT_DOUBLE_EQ(list.get(1)->availability, 0.2);
+  list.debit(1, 0.9);  // clamps at zero
+  EXPECT_DOUBLE_EQ(list.get(1)->availability, 0.0);
+  list.debit(42, 0.5);  // unknown node: no-op
+}
+
+TEST(PledgeList, RemoveDropsEntry) {
+  PledgeList list(100.0, 0.1);
+  list.update(1, 0.5, 1.0, 0.0);
+  list.remove(1);
+  EXPECT_FALSE(list.contains(1));
+  list.remove(1);  // idempotent
+}
+
+TEST(PledgeList, TieBreakIsRandomizedButComplete) {
+  PledgeList list(100.0, 0.1);
+  for (NodeId n = 0; n < 10; ++n) {
+    list.update(n, 0.5, 1.0, 0.0);
+  }
+  auto rng = make_rng();
+  const auto first = list.candidates(1.0, rng);
+  EXPECT_EQ(first.size(), 10u);
+  // All ten nodes present regardless of order.
+  auto sorted = first;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId n = 0; n < 10; ++n) {
+    EXPECT_EQ(sorted[n], n);
+  }
+  // With fresh randomness the order eventually differs (10! orderings).
+  bool differed = false;
+  for (int trial = 0; trial < 20 && !differed; ++trial) {
+    differed = list.candidates(1.0, rng) != first;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(PledgeList, ClearEmptiesList) {
+  PledgeList list(100.0, 0.1);
+  list.update(1, 0.5, 1.0, 0.0);
+  list.clear();
+  EXPECT_EQ(list.size(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace realtor::proto

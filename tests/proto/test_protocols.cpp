@@ -1,0 +1,432 @@
+// Behavioural tests of the five protocols against a scripted transport.
+#include <gtest/gtest.h>
+
+#include "fake_transport.hpp"
+#include "net/topology.hpp"
+#include "proto/adaptive_pull.hpp"
+#include "proto/adaptive_push.hpp"
+#include "proto/factory.hpp"
+#include "proto/pure_pull.hpp"
+#include "proto/pure_push.hpp"
+#include "proto/realtor.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::proto {
+namespace {
+
+using testing::FakeTransport;
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolEnv make_env() {
+    ProtocolEnv env;
+    env.engine = &engine_;
+    env.topology = &topo_;
+    env.transport = &transport_;
+    env.local_occupancy = [this] { return occupancy_; };
+    env.seed = 7;
+    return env;
+  }
+
+  ProtocolConfig config_;  // defaults: thresholds 0.9, window 100
+  sim::Engine engine_;
+  net::Topology topo_ = net::make_mesh(3, 3);
+  FakeTransport transport_;
+  double occupancy_ = 0.0;
+};
+
+// ---------------------------------------------------------------- PurePush
+
+TEST_F(ProtocolTest, PurePushAdvertisesEveryInterval) {
+  config_.push_interval = 1.0;
+  PurePushProtocol p(0, config_, make_env());
+  p.start();
+  engine_.run_until(5.5);
+  EXPECT_EQ(transport_.flood_count(), 5u);
+  const auto& advert = std::get<PushAdvertMsg>(transport_.floods[0].msg);
+  EXPECT_EQ(advert.origin, 0u);
+  EXPECT_DOUBLE_EQ(advert.availability, 1.0);
+}
+
+TEST_F(ProtocolTest, PurePushAdvertReflectsOccupancy) {
+  PurePushProtocol p(0, config_, make_env());
+  p.start();
+  occupancy_ = 0.25;
+  engine_.run_until(1.0);
+  const auto& advert = std::get<PushAdvertMsg>(transport_.floods[0].msg);
+  EXPECT_DOUBLE_EQ(advert.availability, 0.75);
+}
+
+TEST_F(ProtocolTest, PurePushBuildsCandidatesFromAdverts) {
+  PurePushProtocol p(0, config_, make_env());
+  p.on_message(1, Message{PushAdvertMsg{1, 0.8}});
+  p.on_message(2, Message{PushAdvertMsg{2, 0.3}});
+  p.on_message(3, Message{PushAdvertMsg{3, 0.05}});  // below floor
+  const auto c = p.migration_candidates();
+  EXPECT_EQ(c, (std::vector<NodeId>{1, 2}));
+}
+
+TEST_F(ProtocolTest, PurePushFailedMigrationInvalidatesEntry) {
+  PurePushProtocol p(0, config_, make_env());
+  p.on_message(1, Message{PushAdvertMsg{1, 0.8}});
+  p.on_migration_result(1, 0.1, /*success=*/false);
+  EXPECT_TRUE(p.migration_candidates().empty());
+}
+
+TEST_F(ProtocolTest, PurePushSuccessfulMigrationDebitsEntry) {
+  PurePushProtocol p(0, config_, make_env());
+  p.on_message(1, Message{PushAdvertMsg{1, 0.8}});
+  p.on_message(2, Message{PushAdvertMsg{2, 0.7}});
+  p.on_migration_result(1, 0.5, /*success=*/true);  // 0.8 -> 0.3
+  const auto c = p.migration_candidates();
+  EXPECT_EQ(c, (std::vector<NodeId>{2, 1}));
+}
+
+TEST_F(ProtocolTest, PurePushIgnoresForeignMessageTypes) {
+  PurePushProtocol p(0, config_, make_env());
+  p.on_message(1, Message{HelpMsg{1, 0, 0.0}});
+  p.on_message(1, Message{PledgeMsg{1, 0.9, 0, 1.0}});
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+  EXPECT_TRUE(p.migration_candidates().empty());
+}
+
+TEST_F(ProtocolTest, PurePushDeadHostStaysSilent) {
+  PurePushProtocol p(0, config_, make_env());
+  p.start();
+  topo_.set_alive(0, false);
+  engine_.run_until(3.0);
+  EXPECT_EQ(transport_.flood_count(), 0u);
+}
+
+// ------------------------------------------------------------ AdaptivePush
+
+TEST_F(ProtocolTest, AdaptivePushAdvertisesOnCrossingsOnly) {
+  AdaptivePushProtocol p(0, config_, make_env());
+  p.on_status_change(0.1);   // primes detector
+  p.on_status_change(0.5);   // no crossing
+  EXPECT_EQ(transport_.flood_count(), 0u);
+  p.on_status_change(0.95);  // crossing up
+  EXPECT_EQ(transport_.flood_count(), 1u);
+  p.on_status_change(0.99);  // still above
+  EXPECT_EQ(transport_.flood_count(), 1u);
+  p.on_status_change(0.3);   // crossing down
+  EXPECT_EQ(transport_.flood_count(), 2u);
+  const auto& advert = std::get<PushAdvertMsg>(transport_.floods[1].msg);
+  EXPECT_DOUBLE_EQ(advert.availability, 0.7);
+}
+
+TEST_F(ProtocolTest, AdaptivePushCandidatesTrackAdverts) {
+  AdaptivePushProtocol p(0, config_, make_env());
+  p.on_message(4, Message{PushAdvertMsg{4, 0.6}});
+  EXPECT_EQ(p.migration_candidates(), (std::vector<NodeId>{4}));
+  p.on_message(4, Message{PushAdvertMsg{4, 0.02}});  // crossed up -> busy
+  EXPECT_TRUE(p.migration_candidates().empty());
+}
+
+TEST_F(ProtocolTest, AdaptivePushDeadPeersExcludedFromCandidates) {
+  AdaptivePushProtocol p(0, config_, make_env());
+  p.on_message(4, Message{PushAdvertMsg{4, 0.6}});
+  topo_.set_alive(4, false);
+  EXPECT_TRUE(p.migration_candidates().empty());
+  topo_.set_alive(4, true);
+  EXPECT_EQ(p.migration_candidates(), (std::vector<NodeId>{4}));
+}
+
+// --------------------------------------------------------------- PurePull
+
+TEST_F(ProtocolTest, PurePullHelpsOnEveryQualifyingArrival) {
+  PurePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.5);  // below threshold: silent
+  EXPECT_EQ(transport_.flood_count(), 0u);
+  p.on_task_arrival(0.95);
+  p.on_task_arrival(0.97);
+  p.on_task_arrival(1.10);
+  EXPECT_EQ(transport_.flood_count(), 3u);  // no window, unlimited
+  EXPECT_EQ(p.helps_sent(), 3u);
+}
+
+TEST_F(ProtocolTest, PurePullRepliesPledgeOncePerHelpWhenBelowThreshold) {
+  PurePullProtocol p(5, config_, make_env());
+  occupancy_ = 0.4;
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  ASSERT_EQ(transport_.unicast_count(), 1u);
+  EXPECT_EQ(transport_.unicasts[0].to, 2u);
+  const auto& pledge = std::get<PledgeMsg>(transport_.unicasts[0].msg);
+  EXPECT_EQ(pledge.pledger, 5u);
+  EXPECT_DOUBLE_EQ(pledge.availability, 0.6);
+  occupancy_ = 0.95;
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  EXPECT_EQ(transport_.unicast_count(), 1u);  // busy: no reply
+}
+
+TEST_F(ProtocolTest, PurePullNoUnsolicitedPledges) {
+  PurePullProtocol p(5, config_, make_env());
+  p.on_status_change(0.1);
+  p.on_status_change(0.95);  // crossing up
+  p.on_status_change(0.1);   // crossing down
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+}
+
+TEST_F(ProtocolTest, PurePullCandidatesComeFromPledges) {
+  PurePullProtocol p(0, config_, make_env());
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  p.on_message(7, Message{PledgeMsg{7, 0.4, 0, 1.0}});
+  EXPECT_EQ(p.migration_candidates(), (std::vector<NodeId>{3, 7}));
+}
+
+TEST_F(ProtocolTest, PurePullHelpCarriesMemberCountAndUrgency) {
+  PurePullProtocol p(0, config_, make_env());
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  p.on_task_arrival(1.05);
+  const auto& help = std::get<HelpMsg>(transport_.floods[0].msg);
+  EXPECT_EQ(help.member_count, 1u);
+  EXPECT_NEAR(help.urgency, 0.15, 1e-9);
+}
+
+// ------------------------------------------------------------ AdaptivePull
+
+TEST_F(ProtocolTest, AdaptivePullWindowGatesHelp) {
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);
+  EXPECT_EQ(transport_.flood_count(), 1u);
+  p.on_task_arrival(0.99);  // within interval: suppressed
+  EXPECT_EQ(transport_.flood_count(), 1u);
+  engine_.run_until(0.5);
+  p.on_task_arrival(0.99);  // still within 1.0s interval
+  EXPECT_EQ(transport_.flood_count(), 1u);
+}
+
+TEST_F(ProtocolTest, AdaptivePullTimeoutGrowsInterval) {
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);  // HELP, timer armed for 1s
+  engine_.run_until(2.0);   // no pledges: timeout fires
+  EXPECT_DOUBLE_EQ(p.algorithm_h().interval(), 2.0);
+  EXPECT_EQ(p.algorithm_h().timeouts(), 1u);
+}
+
+TEST_F(ProtocolTest, AdaptivePullPledgeRestartsRoundTimer) {
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);
+  engine_.run_until(0.8);
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});  // restarts timer
+  engine_.run_until(1.5);  // original deadline passed, restarted one not
+  EXPECT_EQ(p.algorithm_h().timeouts(), 0u);
+  engine_.run_until(2.0);  // restarted deadline (1.8) passed
+  EXPECT_EQ(p.algorithm_h().timeouts(), 1u);
+}
+
+TEST_F(ProtocolTest, AdaptivePullRewardOnMigrationSuccess) {
+  config_.reward_policy = HelpRewardPolicy::kOnMigrationSuccess;
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);
+  engine_.run_until(2.0);  // timeout: interval 2.0
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(p.algorithm_h().interval(), 2.0);  // pledge alone: no shrink
+  p.on_migration_result(3, 0.1, /*success=*/true);
+  EXPECT_DOUBLE_EQ(p.algorithm_h().interval(), 1.0);
+}
+
+TEST_F(ProtocolTest, AdaptivePullRewardOnFirstUsefulPledgePolicy) {
+  config_.reward_policy = HelpRewardPolicy::kOnFirstUsefulPledge;
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);
+  engine_.run_until(2.0);  // timeout: interval 2.0
+  engine_.run_until(3.0);
+  p.on_task_arrival(0.95);  // second round
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(p.algorithm_h().interval(), 1.0);  // shrunk once
+  p.on_message(4, Message{PledgeMsg{4, 0.9, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(p.algorithm_h().interval(), 1.0);  // not twice
+}
+
+TEST_F(ProtocolTest, AdaptivePullFailedMigrationDropsCandidate) {
+  AdaptivePullProtocol p(0, config_, make_env());
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  p.on_migration_result(3, 0.1, /*success=*/false);
+  EXPECT_TRUE(p.migration_candidates().empty());
+}
+
+// ----------------------------------------------------------------- REALTOR
+
+TEST_F(ProtocolTest, RealtorAnswersHelpAndJoinsCommunity) {
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.2;
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  ASSERT_EQ(transport_.unicast_count(), 1u);
+  EXPECT_EQ(transport_.unicasts[0].to, 2u);
+  EXPECT_EQ(p.community_count(), 1u);
+}
+
+TEST_F(ProtocolTest, RealtorCrossingNotifiesJoinedCommunities) {
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.2;
+  p.on_status_change(0.2);
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  p.on_message(7, Message{HelpMsg{7, 0, 0.1}});
+  transport_.clear();
+  p.on_status_change(0.95);  // crossing up: warn both organizers
+  EXPECT_EQ(transport_.unicast_count(), 2u);
+  for (const auto& sent : transport_.unicasts) {
+    const auto& pledge = std::get<PledgeMsg>(sent.msg);
+    EXPECT_NEAR(pledge.availability, 0.05, 1e-9);
+  }
+  transport_.clear();
+  p.on_status_change(0.5);  // crossing down: re-advertise capacity
+  EXPECT_EQ(transport_.unicast_count(), 2u);
+}
+
+TEST_F(ProtocolTest, RealtorNoUnsolicitedPledgeWithoutMembership) {
+  RealtorProtocol p(5, config_, make_env());
+  p.on_status_change(0.2);
+  p.on_status_change(0.95);
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+}
+
+TEST_F(ProtocolTest, RealtorMembershipCapBoundsUnsolicitedFanout) {
+  config_.max_communities = 2;
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.2;
+  p.on_status_change(0.2);
+  p.on_message(1, Message{HelpMsg{1, 0, 0.1}});
+  engine_.run_until(1.0);
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  engine_.run_until(2.0);
+  p.on_message(3, Message{HelpMsg{3, 0, 0.1}});  // evicts stalest organizer 1
+  EXPECT_EQ(transport_.unicast_count(), 3u);  // replies are unconditional
+  transport_.clear();
+  p.on_status_change(0.95);
+  EXPECT_EQ(transport_.unicast_count(), 2u);  // fanout capped
+  std::set<NodeId> targets;
+  for (const auto& sent : transport_.unicasts) targets.insert(sent.to);
+  EXPECT_EQ(targets, (std::set<NodeId>{2, 3}));
+}
+
+TEST_F(ProtocolTest, RealtorBusyHostDoesNotAnswerHelp) {
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.95;
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  EXPECT_EQ(transport_.unicast_count(), 0u);
+  EXPECT_EQ(p.community_count(), 0u);
+}
+
+TEST_F(ProtocolTest, RealtorHelpGatedByAlgorithmH) {
+  RealtorProtocol p(0, config_, make_env());
+  p.on_task_arrival(0.95);
+  p.on_task_arrival(0.99);
+  EXPECT_EQ(transport_.flood_count(), 1u);
+  EXPECT_EQ(p.algorithm_h().helps_sent(), 1u);
+}
+
+TEST_F(ProtocolTest, RealtorSelfKilledForgetsEverything) {
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.2;
+  p.on_status_change(0.2);
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  p.on_message(3, Message{PledgeMsg{3, 0.8, 0, 1.0}});
+  p.on_self_killed();
+  EXPECT_TRUE(p.migration_candidates().empty());
+  EXPECT_EQ(p.community_count(), 0u);
+  transport_.clear();
+  p.on_status_change(0.95);
+  EXPECT_EQ(transport_.unicast_count(), 0u);  // memberships gone
+}
+
+TEST_F(ProtocolTest, RealtorUnsolicitedPledgeCounterTracks) {
+  RealtorProtocol p(5, config_, make_env());
+  occupancy_ = 0.2;
+  p.on_status_change(0.2);
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  p.on_status_change(0.95);
+  p.on_status_change(0.2);
+  EXPECT_EQ(p.unsolicited_pledges(), 2u);
+}
+
+// ----------------------------------------------- Multi-resource extension
+
+TEST_F(ProtocolTest, PledgeListFiltersBySecurityQuery) {
+  RealtorProtocol p(0, config_, make_env());
+  PledgeMsg low;
+  low.pledger = 3;
+  low.availability = 0.9;
+  low.security_level = 1;
+  PledgeMsg high;
+  high.pledger = 4;
+  high.availability = 0.5;
+  high.security_level = 3;
+  p.on_message(3, Message{low});
+  p.on_message(4, Message{high});
+  EXPECT_EQ(p.migration_candidates(), (std::vector<NodeId>{3, 4}));
+  CandidateQuery query;
+  query.min_security = 2;
+  EXPECT_EQ(p.migration_candidates(query), (std::vector<NodeId>{4}));
+  query.min_security = 4;
+  EXPECT_TRUE(p.migration_candidates(query).empty());
+}
+
+TEST_F(ProtocolTest, PushAdvertCarriesSecurityAndFilters) {
+  AdaptivePushProtocol p(0, config_, make_env());
+  PushAdvertMsg advert;
+  advert.origin = 4;
+  advert.availability = 0.8;
+  advert.security_level = 2;
+  p.on_message(4, Message{advert});
+  CandidateQuery cleared;
+  cleared.min_security = 2;
+  EXPECT_EQ(p.migration_candidates(cleared), (std::vector<NodeId>{4}));
+  CandidateQuery too_high;
+  too_high.min_security = 3;
+  EXPECT_TRUE(p.migration_candidates(too_high).empty());
+}
+
+TEST_F(ProtocolTest, OutgoingPledgeCarriesLocalSecurity) {
+  ProtocolEnv env = make_env();
+  env.local_security = [] { return std::uint8_t{2}; };
+  RealtorProtocol p(5, config_, std::move(env));
+  occupancy_ = 0.2;
+  p.on_message(2, Message{HelpMsg{2, 0, 0.1}});
+  ASSERT_EQ(transport_.unicast_count(), 1u);
+  const auto& pledge = std::get<PledgeMsg>(transport_.unicasts[0].msg);
+  EXPECT_EQ(pledge.security_level, 2);
+}
+
+TEST_F(ProtocolTest, MinAvailabilityQueryFilters) {
+  RealtorProtocol p(0, config_, make_env());
+  p.on_message(3, Message{PledgeMsg{3, 0.3, 0, 1.0}});
+  p.on_message(4, Message{PledgeMsg{4, 0.8, 0, 1.0}});
+  CandidateQuery query;
+  query.min_availability = 0.5;
+  EXPECT_EQ(p.migration_candidates(query), (std::vector<NodeId>{4}));
+}
+
+// ----------------------------------------------------------------- Factory
+
+TEST(Factory, NamesRoundTrip) {
+  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+    EXPECT_EQ(parse_protocol(to_string(kind)), kind);
+    EXPECT_EQ(parse_protocol(paper_label(kind)), kind);
+  }
+  EXPECT_EQ(parse_protocol("REALTOR"), ProtocolKind::kRealtor);
+  EXPECT_FALSE(parse_protocol("bogus").has_value());
+}
+
+TEST(Factory, BuildsEveryKind) {
+  sim::Engine engine;
+  net::Topology topo = net::make_mesh(3, 3);
+  testing::FakeTransport transport;
+  for (const ProtocolKind kind : kExtendedProtocolKinds) {
+    ProtocolEnv env;
+    env.engine = &engine;
+    env.topology = &topo;
+    env.transport = &transport;
+    env.local_occupancy = [] { return 0.0; };
+    env.seed = 1;
+    ProtocolConfig config;
+    const auto p = make_protocol(kind, 0, config, std::move(env));
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), to_string(kind));
+    EXPECT_EQ(p->self(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace realtor::proto

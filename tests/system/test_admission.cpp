@@ -1,0 +1,203 @@
+#include "admission/admission_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "proto/discovery_protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::admission {
+namespace {
+
+// Minimal protocol stub returning a scripted candidate list and recording
+// feedback.
+class StubProtocol final : public proto::DiscoveryProtocol {
+ public:
+  StubProtocol(NodeId self, const proto::ProtocolConfig& config,
+               proto::ProtocolEnv env)
+      : DiscoveryProtocol(self, config, std::move(env)) {}
+
+  const char* name() const override { return "stub"; }
+  void on_status_change(double) override {}
+  void on_task_arrival(double) override {}
+  void on_message(NodeId, const proto::Message&) override {}
+  using DiscoveryProtocol::migration_candidates;
+  std::vector<NodeId> migration_candidates(
+      const proto::CandidateQuery& query) override {
+    last_query = query;
+    return candidates;
+  }
+  void on_migration_result(NodeId target, double, bool success) override {
+    feedback.emplace_back(target, success);
+  }
+
+  std::vector<NodeId> candidates;
+  std::vector<std::pair<NodeId, bool>> feedback;
+  proto::CandidateQuery last_query;
+};
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest()
+      : topo_(net::make_mesh(3, 3)),
+        cost_(topo_, net::CostMode::kPaperAverage, 4.0) {
+    for (NodeId id = 0; id < topo_.num_nodes(); ++id) {
+      hosts_.push_back(std::make_unique<node::Host>(engine_, id, 10.0));
+    }
+    proto::ProtocolEnv env;
+    env.engine = &engine_;
+    env.topology = &topo_;
+    env.transport = nullptr;  // stub never sends
+    env.local_occupancy = [] { return 0.0; };
+    env.seed = 1;
+    stub_ = std::make_unique<StubProtocol>(0, proto::ProtocolConfig{},
+                                           std::move(env));
+  }
+
+  AdmissionController make_controller(const MigrationPolicy& policy) {
+    return AdmissionController(
+        policy, topo_, cost_, ledger_,
+        [this](NodeId id) { return hosts_[id].get(); });
+  }
+
+  node::Task make_task(double size) {
+    node::Task t;
+    t.id = 1;
+    t.size_seconds = size;
+    t.origin = 0;
+    return t;
+  }
+
+  sim::Engine engine_;
+  net::Topology topo_;
+  net::CostModel cost_;
+  net::MessageLedger ledger_;
+  std::vector<std::unique_ptr<node::Host>> hosts_;
+  std::unique_ptr<StubProtocol> stub_;
+};
+
+TEST_F(AdmissionTest, NoCandidatesMeansRejection) {
+  auto controller = make_controller(MigrationPolicy{});
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_FALSE(outcome.admitted);
+  EXPECT_EQ(outcome.attempts, 0u);
+  EXPECT_EQ(controller.no_candidate(), 1u);
+  EXPECT_DOUBLE_EQ(ledger_.total_cost(), 0.0);
+}
+
+TEST_F(AdmissionTest, MigratesToFirstViableCandidate) {
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_TRUE(outcome.admitted);
+  EXPECT_EQ(outcome.target, 3u);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_DOUBLE_EQ(hosts_[3]->backlog_seconds(), 5.0);
+  // Negotiation: 2 unicasts x 4; migration payload: 1 x 4.
+  EXPECT_DOUBLE_EQ(ledger_.cost(net::MessageKind::kNegotiation), 8.0);
+  EXPECT_DOUBLE_EQ(ledger_.cost(net::MessageKind::kMigration), 4.0);
+  ASSERT_EQ(stub_->feedback.size(), 1u);
+  EXPECT_TRUE(stub_->feedback[0].second);
+}
+
+TEST_F(AdmissionTest, OneTryPolicyStopsAfterFirstAbort) {
+  // Paper §5: "only a one-time migration try to the best candidate".
+  hosts_[3]->try_enqueue(make_task(10.0));  // fill the best candidate
+  stub_->candidates = {3, 4};
+  auto controller = make_controller(MigrationPolicy{});
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_FALSE(outcome.admitted);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(controller.aborted(), 1u);
+  EXPECT_DOUBLE_EQ(hosts_[4]->backlog_seconds(), 0.0);  // never tried
+  ASSERT_EQ(stub_->feedback.size(), 1u);
+  EXPECT_FALSE(stub_->feedback[0].second);
+}
+
+TEST_F(AdmissionTest, RetryBudgetTriesNextCandidate) {
+  // §3: "migration is aborted and the next node in REALTOR's list is tried".
+  hosts_[3]->try_enqueue(make_task(10.0));
+  stub_->candidates = {3, 4};
+  MigrationPolicy policy;
+  policy.max_tries = 2;
+  auto controller = make_controller(policy);
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_TRUE(outcome.admitted);
+  EXPECT_EQ(outcome.target, 4u);
+  EXPECT_EQ(outcome.attempts, 2u);
+  // Both negotiations charged.
+  EXPECT_DOUBLE_EQ(ledger_.cost(net::MessageKind::kNegotiation), 16.0);
+}
+
+TEST_F(AdmissionTest, DeadTargetChargedAndAborted) {
+  topo_.set_alive(3, false);
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_FALSE(outcome.admitted);
+  // The failed negotiation round-trip is still paid for.
+  EXPECT_DOUBLE_EQ(ledger_.cost(net::MessageKind::kNegotiation), 8.0);
+  EXPECT_DOUBLE_EQ(ledger_.cost(net::MessageKind::kMigration), 0.0);
+}
+
+TEST_F(AdmissionTest, SkipsSelfInCandidateList) {
+  stub_->candidates = {0, 3};  // degenerate: protocol offered the origin
+  MigrationPolicy policy;
+  policy.max_tries = 1;
+  auto controller = make_controller(policy);
+  const auto outcome = controller.try_migrate(make_task(5.0), 0, *stub_);
+  EXPECT_TRUE(outcome.admitted);
+  EXPECT_EQ(outcome.target, 3u);
+  EXPECT_EQ(outcome.attempts, 1u);  // self does not consume the budget
+}
+
+TEST_F(AdmissionTest, MigratedTaskCarriesIncrementedHopCount) {
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  controller.try_migrate(make_task(5.0), 0, *stub_);
+  std::vector<node::Task> drained = hosts_[3]->drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].migrations, 1u);
+}
+
+TEST_F(AdmissionTest, QueryCarriesTaskSecurityRequirement) {
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  node::Task task = make_task(5.0);
+  task.min_security = 3;
+  const auto outcome = controller.try_migrate(task, 0, *stub_);
+  EXPECT_TRUE(outcome.admitted);  // stub hosts are unrestricted (255)
+  EXPECT_EQ(stub_->last_query.min_security, 3);
+}
+
+TEST_F(AdmissionTest, SecureTaskRefusedByUnclearedHost) {
+  // Replace host 3 with a low-clearance host; the negotiation is charged
+  // and aborted.
+  node::HostResources low;
+  low.security_level = 1;
+  hosts_[3] = std::make_unique<node::Host>(engine_, 3, 10.0, low);
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  node::Task task = make_task(5.0);
+  task.min_security = 2;
+  const auto outcome = controller.try_migrate(task, 0, *stub_);
+  EXPECT_FALSE(outcome.admitted);
+  EXPECT_EQ(controller.aborted(), 1u);
+}
+
+TEST_F(AdmissionTest, CountersAccumulateAcrossCalls) {
+  stub_->candidates = {3};
+  auto controller = make_controller(MigrationPolicy{});
+  controller.try_migrate(make_task(4.0), 0, *stub_);
+  controller.try_migrate(make_task(4.0), 0, *stub_);
+  controller.try_migrate(make_task(4.0), 0, *stub_);  // 3rd does not fit (12>10)
+  EXPECT_EQ(controller.migrations(), 2u);
+  EXPECT_EQ(controller.aborted(), 1u);
+  EXPECT_EQ(controller.attempts(), 3u);
+}
+
+}  // namespace
+}  // namespace realtor::admission

@@ -1,0 +1,162 @@
+// Inter-neighbor-group discovery (§7 future work extension).
+#include <gtest/gtest.h>
+
+#include "experiment/simulation.hpp"
+#include "federation/group_map.hpp"
+
+namespace realtor {
+namespace {
+
+using federation::GroupMap;
+
+TEST(GroupMap, MeshBlocksPartitionCorrectly) {
+  // 10x10 mesh in 5x5 blocks -> 4 groups of 25.
+  const GroupMap map = GroupMap::mesh_blocks(10, 10, 5, 5);
+  EXPECT_EQ(map.group_count(), 4u);
+  EXPECT_EQ(map.members(0).size(), 25u);
+  EXPECT_EQ(map.group_of(0), 0u);    // top-left corner
+  EXPECT_EQ(map.group_of(9), 1u);    // top-right corner
+  EXPECT_EQ(map.group_of(90), 2u);   // bottom-left corner
+  EXPECT_EQ(map.group_of(99), 3u);   // bottom-right corner
+  EXPECT_EQ(map.group_of(44), 0u);   // (4,4) inside the first block
+  EXPECT_EQ(map.group_of(45), 1u);   // (5,4) inside the second block
+}
+
+TEST(GroupMap, ChunksPartition) {
+  const GroupMap map = GroupMap::chunks(10, 4);
+  EXPECT_EQ(map.group_count(), 3u);
+  EXPECT_EQ(map.members(0).size(), 4u);
+  EXPECT_EQ(map.members(2).size(), 2u);  // remainder group
+  EXPECT_EQ(map.group_of(7), 1u);
+}
+
+TEST(GroupMap, AdjacencyOnMesh) {
+  const auto topo = net::make_mesh(10, 10);
+  const GroupMap map = GroupMap::mesh_blocks(10, 10, 5, 5);
+  // In a 2x2 block grid every group touches the two orthogonal neighbors
+  // but not the diagonal one.
+  EXPECT_EQ(map.adjacent_groups(0, topo),
+            (std::vector<federation::GroupId>{1, 2}));
+  EXPECT_EQ(map.adjacent_groups(3, topo),
+            (std::vector<federation::GroupId>{1, 2}));
+}
+
+TEST(GroupMap, IntraGroupLinksCountOnlyInternalEdges) {
+  const auto topo = net::make_mesh(10, 10);
+  const GroupMap map = GroupMap::mesh_blocks(10, 10, 5, 5);
+  // A 5x5 block has 40 internal links (same as the paper's mesh).
+  for (federation::GroupId g = 0; g < 4; ++g) {
+    EXPECT_EQ(map.intra_group_alive_links(g, topo), 40u);
+  }
+  // Sanity: 4 blocks x 40 + 2x10 crossing links = 180 total mesh links.
+  EXPECT_EQ(topo.num_links(), 180u);
+}
+
+TEST(GroupMap, IntraGroupLinksRespectLiveness) {
+  auto topo = net::make_mesh(10, 10);
+  const GroupMap map = GroupMap::mesh_blocks(10, 10, 5, 5);
+  topo.set_alive(0, false);  // corner node: 2 internal links
+  EXPECT_EQ(map.intra_group_alive_links(0, topo), 38u);
+}
+
+TEST(GroupMap, GatewaySurvivesFailures) {
+  auto topo = net::make_mesh(10, 10);
+  const GroupMap map = GroupMap::mesh_blocks(10, 10, 5, 5);
+  EXPECT_EQ(map.gateway(0, topo), 0u);
+  topo.set_alive(0, false);
+  EXPECT_EQ(map.gateway(0, topo), 1u);  // next alive member
+  for (const NodeId node : map.members(0)) {
+    topo.set_alive(node, false);
+  }
+  EXPECT_EQ(map.gateway(0, topo), kInvalidNode);
+}
+
+namespace {
+
+experiment::ScenarioConfig federated_config(double lambda) {
+  experiment::ScenarioConfig config;
+  config.topology.width = 10;
+  config.topology.height = 10;
+  config.protocol_kind = proto::ProtocolKind::kRealtor;
+  config.lambda = lambda;
+  config.duration = 200.0;
+  config.seed = 13;
+  config.fixed_unicast_cost.reset();
+  config.federation.enabled = true;
+  config.federation.block_width = 5;
+  config.federation.block_height = 5;
+  return config;
+}
+
+}  // namespace
+
+TEST(FederatedSimulation, ConservationHolds) {
+  experiment::Simulation sim(federated_config(30.0));
+  const auto& m = sim.run();
+  EXPECT_EQ(m.generated, m.admitted_local + m.admitted_migrated + m.rejected);
+  EXPECT_GT(m.generated, 0u);
+}
+
+TEST(FederatedSimulation, EscalationsHappenUnderOverload) {
+  // 150% system load: groups saturate and must solicit their neighbors.
+  experiment::Simulation sim(federated_config(30.0));
+  const auto& m = sim.run();
+  EXPECT_GT(m.escalations, 0u);
+  EXPECT_GT(m.admitted_migrated, 0u);
+}
+
+TEST(FederatedSimulation, NoEscalationsAtLightLoad) {
+  experiment::Simulation sim(federated_config(4.0));
+  const auto& m = sim.run();
+  EXPECT_EQ(m.escalations, 0u);
+  EXPECT_DOUBLE_EQ(m.admission_probability(), 1.0);
+}
+
+TEST(FederatedSimulation, GroupScopedFloodsCostLessThanFlat) {
+  // Same workload, flat vs federated overlay: a group flood touches 40
+  // links instead of 180, so REALTOR's discovery bill must shrink.
+  auto flat = federated_config(30.0);
+  flat.federation.enabled = false;
+  experiment::Simulation flat_sim(flat);
+  experiment::Simulation fed_sim(federated_config(30.0));
+  const double flat_cost = flat_sim.run().ledger.cost(net::MessageKind::kHelp);
+  const double fed_cost = fed_sim.run().ledger.cost(net::MessageKind::kHelp);
+  EXPECT_GT(flat_cost, 0.0);
+  EXPECT_LT(fed_cost, flat_cost);
+}
+
+TEST(FederatedSimulation, AdmissionStaysCompetitiveWithFlat) {
+  auto flat = federated_config(25.0);
+  flat.federation.enabled = false;
+  experiment::Simulation flat_sim(flat);
+  experiment::Simulation fed_sim(federated_config(25.0));
+  const double p_flat = flat_sim.run().admission_probability();
+  const double p_fed = fed_sim.run().admission_probability();
+  EXPECT_GT(p_fed, p_flat - 0.05);
+}
+
+TEST(FederatedSimulation, ChunkFallbackForNonMeshTopology) {
+  auto config = federated_config(10.0);
+  config.topology.kind = experiment::TopologyKind::kRandom;
+  config.topology.nodes = 40;
+  config.topology.links = 80;
+  config.federation.block_width = 0;
+  config.federation.block_height = 0;
+  config.federation.group_size = 10;
+  experiment::Simulation sim(config);
+  const auto& m = sim.run();
+  EXPECT_EQ(m.generated, m.admitted_local + m.admitted_migrated + m.rejected);
+}
+
+TEST(FederatedSimulation, EscalationRateLimited) {
+  auto config = federated_config(40.0);  // deep overload, constant misses
+  config.federation.escalation_window = 50.0;
+  experiment::Simulation sim(config);
+  const auto& m = sim.run();
+  // 100 nodes x (200s / 50s window) x <=2 adjacent groups = hard cap 800.
+  EXPECT_LE(m.escalations, 800u);
+  EXPECT_GT(m.escalations, 0u);
+}
+
+}  // namespace
+}  // namespace realtor

@@ -1,0 +1,116 @@
+// Metamorphic properties of the whole simulation: directional changes in
+// resources, load, and retry budget must move the admission probability
+// the right way (up to a small tolerance — the protocols are stochastic
+// in their tie-breaks even on a fixed workload).
+#include <gtest/gtest.h>
+
+#include "experiment/simulation.hpp"
+#include "proto/factory.hpp"
+
+namespace realtor::experiment {
+namespace {
+
+double admission(proto::ProtocolKind kind, double lambda, double queue,
+                 std::uint32_t tries, NodeId side = 5,
+                 SimTime duration = 300.0) {
+  ScenarioConfig config;
+  config.protocol_kind = kind;
+  config.lambda = lambda;
+  config.queue_capacity = queue;
+  config.migration.max_tries = tries;
+  config.topology.width = side;
+  config.topology.height = side;
+  if (side != 5) config.fixed_unicast_cost.reset();
+  config.duration = duration;
+  config.seed = 23;
+  Simulation sim(config);
+  return sim.run().admission_probability();
+}
+
+class Metamorphic : public ::testing::TestWithParam<proto::ProtocolKind> {};
+
+TEST_P(Metamorphic, LargerQueuesNeverHurt) {
+  const double small = admission(GetParam(), 9.0, 100.0, 1);
+  const double large = admission(GetParam(), 9.0, 200.0, 1);
+  EXPECT_GE(large, small - 0.01);
+  EXPECT_GT(large, small);  // at 180% load the extra buffer must show
+}
+
+TEST_P(Metamorphic, HigherLoadNeverHelps) {
+  const double light = admission(GetParam(), 6.0, 100.0, 1);
+  const double heavy = admission(GetParam(), 10.0, 100.0, 1);
+  EXPECT_LE(heavy, light + 0.01);
+  EXPECT_LT(heavy, light);
+}
+
+TEST_P(Metamorphic, MoreCapacityNodesHelpAtFixedTotalLoad) {
+  const double small_mesh = admission(GetParam(), 9.0, 100.0, 1, 5);
+  const double large_mesh = admission(GetParam(), 9.0, 100.0, 1, 6);
+  EXPECT_GT(large_mesh, small_mesh);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Metamorphic,
+                         ::testing::ValuesIn(proto::kAllProtocolKinds),
+                         [](const auto& tpi) {
+                           std::string name = proto::to_string(tpi.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(MetamorphicRetry, MoreTriesNeverHurtRealtor) {
+  const double one = admission(proto::ProtocolKind::kRealtor, 9.0, 100.0, 1);
+  const double three = admission(proto::ProtocolKind::kRealtor, 9.0, 100.0, 3);
+  EXPECT_GE(three, one - 0.005);
+}
+
+TEST(MetamorphicRetry, RetryBudgetIsActuallyExercisedUnderOverload) {
+  // Retries are not strictly monotone in admission (an extra admission can
+  // displace a later, better-fitting task), but the budget must be used
+  // and must never hurt beyond noise.
+  ScenarioConfig config;
+  config.protocol_kind = proto::ProtocolKind::kRealtor;
+  config.lambda = 11.0;
+  config.duration = 300.0;
+  config.seed = 23;
+  config.migration.max_tries = 1;
+  Simulation one_try(config);
+  const RunMetrics m1 = one_try.run();
+  config.migration.max_tries = 5;
+  Simulation five_tries(config);
+  const RunMetrics m5 = five_tries.run();
+  EXPECT_GT(m5.migration_attempts, m1.migration_attempts);
+  EXPECT_GE(m5.admission_probability(), m1.admission_probability() - 0.01);
+}
+
+TEST(MetamorphicWarmup, WarmupCountsOnlyTheTail) {
+  ScenarioConfig config;
+  config.lambda = 5.0;
+  config.duration = 200.0;
+  config.seed = 23;
+  Simulation whole(config);
+  const std::uint64_t all = whole.run().generated;
+  config.warmup = 100.0;
+  Simulation tail_only(config);
+  const std::uint64_t tail = tail_only.run().generated;
+  EXPECT_LT(tail, all);
+  // Roughly half the arrivals land in the second half.
+  EXPECT_NEAR(static_cast<double>(tail), static_cast<double>(all) / 2.0,
+              static_cast<double>(all) * 0.15);
+}
+
+TEST(MetamorphicDelay, SmallNetworkDelayBarelyMoves) {
+  ScenarioConfig base;
+  base.protocol_kind = proto::ProtocolKind::kRealtor;
+  base.lambda = 8.0;
+  base.duration = 300.0;
+  base.seed = 23;
+  Simulation instant(base);
+  const double p0 = instant.run().admission_probability();
+  base.network_delay = 0.01;  // 10 ms on 5 s tasks: negligible
+  Simulation delayed(base);
+  const double p1 = delayed.run().admission_probability();
+  EXPECT_NEAR(p0, p1, 0.02);
+}
+
+}  // namespace
+}  // namespace realtor::experiment

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "experiment/figures.hpp"
+#include "experiment/sweep.hpp"
+
+namespace realtor::experiment {
+namespace {
+
+ScenarioConfig fast_base() {
+  ScenarioConfig c;
+  c.duration = 60.0;
+  c.seed = 5;
+  return c;
+}
+
+SweepOptions small_options() {
+  SweepOptions options;
+  options.lambdas = {2.0, 8.0};
+  options.protocols = {proto::ProtocolKind::kRealtor,
+                       proto::ProtocolKind::kPurePush};
+  options.replications = 2;
+  return options;
+}
+
+TEST(Sweep, ProducesFullGrid) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  ASSERT_EQ(cells.size(), 4u);
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.admission_probability.count(), 2u);
+    EXPECT_GT(cell.summed.generated, 0u);
+  }
+}
+
+TEST(Sweep, CommonRandomNumbersAcrossProtocols) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  // Cells are protocol-major: [realtor@2, realtor@8, push@2, push@8].
+  EXPECT_EQ(cells[0].summed.generated, cells[2].summed.generated);
+  EXPECT_EQ(cells[1].summed.generated, cells[3].summed.generated);
+}
+
+TEST(Sweep, ReplicationsUseDistinctSeeds) {
+  SweepOptions options = small_options();
+  options.lambdas = {10.0};
+  options.protocols = {proto::ProtocolKind::kRealtor};
+  options.replications = 3;
+  // Long enough that the overload actually rejects tasks: otherwise every
+  // replication reports admission probability exactly 1 and variance 0.
+  ScenarioConfig base = fast_base();
+  base.duration = 300.0;
+  const auto cells = run_sweep(base, options);
+  ASSERT_EQ(cells.size(), 1u);
+  // With three independent replications the admission probabilities are
+  // not all identical (variance > 0 under overload).
+  EXPECT_GT(cells[0].admission_probability.variance(), 0.0);
+}
+
+TEST(Sweep, ProgressCallbackFires) {
+  SweepOptions options = small_options();
+  int calls = 0;
+  options.on_run = [&](const SweepCell&, std::uint32_t) { ++calls; };
+  run_sweep(fast_base(), options);
+  EXPECT_EQ(calls, 2 * 2 * 2);
+}
+
+TEST(Sweep, PaperOptionsCoverAllFiveProtocols) {
+  const auto options = paper_sweep_options({5.0}, 3);
+  EXPECT_EQ(options.protocols.size(), 5u);
+  EXPECT_EQ(options.replications, 3u);
+}
+
+TEST(Figures, TableShapesMatchSweep) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  const Table t5 = fig5_admission_probability(cells);
+  EXPECT_EQ(t5.num_rows(), 2u);       // two lambdas
+  EXPECT_EQ(t5.num_cols(), 3u);       // lambda + two protocols
+  const Table t6 = fig6_message_overhead(cells);
+  EXPECT_EQ(t6.num_rows(), 2u);
+  const Table t7 = fig7_cost_per_admitted(cells);
+  const Table t8 = fig8_migration_rate(cells);
+  EXPECT_EQ(t7.num_cols(), 3u);
+  EXPECT_EQ(t8.num_cols(), 3u);
+}
+
+TEST(Figures, AdmissionValuesAreProbabilities) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  const Table t = fig5_admission_probability(cells);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 1; c < t.num_cols(); ++c) {
+      const double v = std::stod(t.at(r, c));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Figures, CiColumnsDoubleWidth) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  const Table t = figure_table(
+      cells,
+      [](const SweepCell& c) -> const OnlineStats& {
+        return c.admission_probability;
+      },
+      4, /*with_ci=*/true);
+  EXPECT_EQ(t.num_cols(), 1u + 2u * 2u);
+}
+
+TEST(Figures, EmitWritesCsv) {
+  const auto cells = run_sweep(fast_base(), small_options());
+  const std::string path = ::testing::TempDir() + "/fig_test.csv";
+  emit_figure("test", fig5_admission_probability(cells), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("lambda"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace realtor::experiment

@@ -1,0 +1,126 @@
+// realtor_sim — the one-stop command line for the whole system.
+//
+// Runs any scenario the library supports and prints the full report:
+//
+//   realtor_sim                               # paper defaults, REALTOR
+//   realtor_sim --protocol=Push-1 --lambda=8
+//   realtor_sim --topology=torus --nodes=100 --width=10 --height=10
+//   realtor_sim --attack=200:10:1:150 --timeline=25
+//   realtor_sim --federate=5x5 --width=10 --height=10 --lambda=28
+//   realtor_sim --multires --secure-fraction=0.4
+//   realtor_sim --elusive=10
+//   realtor_sim --trace-out=w.csv          # record the workload
+//   realtor_sim --trace-in=w.csv           # replay it
+//   realtor_sim --sweep=1,2,4,8 --reps=5   # protocol comparison sweep
+//
+// See experiment/cli_config.hpp for the complete flag list.
+#include <iostream>
+
+#include "experiment/cli_config.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/report.hpp"
+#include "experiment/simulation.hpp"
+#include "experiment/sweep.hpp"
+#include "proto/factory.hpp"
+#include "trace/workload_csv.hpp"
+
+namespace {
+
+using namespace realtor;
+
+int run_single(const Flags& flags) {
+  experiment::ScenarioConfig config =
+      experiment::scenario_from_flags(flags);
+
+  const std::string trace_in = flags.get_string("trace-in", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+
+  if (!trace_in.empty()) {
+    const auto loaded = trace::load_csv_file(trace_in);
+    if (!loaded.ok) {
+      std::cerr << "trace load failed: " << loaded.error << '\n';
+      return 1;
+    }
+    config.external_arrivals = true;
+    if (!loaded.records.empty()) {
+      config.duration = std::max(config.duration,
+                                 loaded.records.back().arrival.time);
+    }
+    experiment::Simulation sim(config);
+    for (const trace::TraceRecord& record : loaded.records) {
+      sim.engine().schedule_at(record.arrival.time, [&sim, record] {
+        sim.inject(record.arrival, record.bandwidth_share,
+                   record.min_security);
+      });
+    }
+    sim.run();
+    experiment::print_report(std::cout,
+                             std::string("replay of ") + trace_in, sim,
+                             flags.get_bool("verbose", false));
+    return 0;
+  }
+
+  if (!trace_out.empty()) {
+    const std::size_t estimate = static_cast<std::size_t>(
+        config.lambda * config.duration * 1.2 + 64.0);
+    auto arrivals = sim::generate_poisson_trace(
+        config.seed, config.lambda, config.mean_task_size,
+        experiment::build_topology(config.topology).num_nodes(), estimate);
+    while (!arrivals.empty() && arrivals.back().time > config.duration) {
+      arrivals.pop_back();
+    }
+    if (!trace::save_csv_file(trace_out, trace::from_arrivals(arrivals))) {
+      std::cerr << "cannot write " << trace_out << '\n';
+      return 1;
+    }
+    std::cout << "recorded " << arrivals.size() << " arrivals to "
+              << trace_out << '\n';
+    return 0;
+  }
+
+  experiment::Simulation sim(config);
+  sim.run();
+  std::string title = std::string(proto::paper_label(config.protocol_kind)) +
+                      " @ lambda=" + format_double(config.lambda, 1);
+  experiment::print_report(std::cout, title, sim,
+                           flags.get_bool("verbose", false));
+  return 0;
+}
+
+int run_sweep_mode(const Flags& flags) {
+  const experiment::ScenarioConfig base =
+      experiment::scenario_from_flags(flags);
+  auto options = experiment::paper_sweep_options(
+      flags.get_double_list("sweep", {2.0, 4.0, 6.0, 8.0, 10.0}),
+      static_cast<std::uint32_t>(flags.get_int("reps", 3)));
+  if (flags.get_bool("with-gossip", false)) {
+    options.protocols.push_back(proto::ProtocolKind::kGossip);
+  }
+  const auto cells = experiment::run_sweep(base, options);
+  experiment::emit_figure("admission probability",
+                          experiment::fig5_admission_probability(cells));
+  experiment::emit_figure("message overhead",
+                          experiment::fig6_message_overhead(cells));
+  experiment::emit_figure("cost per admitted task",
+                          experiment::fig7_cost_per_admitted(cells));
+  experiment::emit_figure("migration rate",
+                          experiment::fig8_migration_rate(cells));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::cout <<
+        "realtor_sim — run REALTOR discovery scenarios\n"
+        "  (see the header of tools/realtor_sim.cpp and\n"
+        "   src/experiment/cli_config.hpp for all flags)\n";
+    return 0;
+  }
+  if (flags.has("sweep")) {
+    return run_sweep_mode(flags);
+  }
+  return run_single(flags);
+}

@@ -37,6 +37,13 @@ MigrationOutcome AdmissionController::try_migrate(
     if (target == origin) continue;
     ++outcome.attempts;
     ++attempts_;
+    if (tracing()) {
+      tracer_->emit(obs::TraceEvent(engine_->now(), origin,
+                                    obs::EventKind::kMigrationAttempt)
+                        .with("task", task.id)
+                        .with("target", target)
+                        .with("attempt", outcome.attempts));
+    }
 
     // Negotiation round-trip between the two admission controls. Charged
     // even when the target is dead or refuses — failed speculation is
@@ -59,10 +66,24 @@ MigrationOutcome AdmissionController::try_migrate(
       ++migrations_;
       outcome.admitted = true;
       outcome.target = target;
+      if (tracing()) {
+        tracer_->emit(obs::TraceEvent(engine_->now(), origin,
+                                      obs::EventKind::kMigrationSuccess)
+                          .with("task", task.id)
+                          .with("target", target)
+                          .with("attempts", outcome.attempts));
+      }
       return outcome;
     }
     protocol.on_migration_result(target, fraction, false);
     ++aborted_;
+    if (tracing()) {
+      tracer_->emit(obs::TraceEvent(engine_->now(), origin,
+                                    obs::EventKind::kMigrationAbort)
+                        .with("task", task.id)
+                        .with("target", target)
+                        .with("target_alive", target_up));
+    }
   }
   return outcome;
 }

@@ -16,7 +16,9 @@
 #include "net/message_ledger.hpp"
 #include "net/topology.hpp"
 #include "node/host.hpp"
+#include "obs/trace.hpp"
 #include "proto/discovery_protocol.hpp"
+#include "sim/engine.hpp"
 
 namespace realtor::admission {
 
@@ -53,6 +55,13 @@ class AdmissionController {
   MigrationOutcome try_migrate(const node::Task& task, NodeId origin,
                                proto::DiscoveryProtocol& protocol);
 
+  /// Attaches a borrowed tracer for migration lifecycle records;
+  /// `engine` supplies the timestamps. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer, const sim::Engine* engine) {
+    tracer_ = tracer;
+    engine_ = engine;
+  }
+
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t aborted() const { return aborted_; }
   std::uint64_t migrations() const { return migrations_; }
@@ -60,11 +69,17 @@ class AdmissionController {
   std::uint64_t no_candidate() const { return no_candidate_; }
 
  private:
+  bool tracing() const {
+    return tracer_ != nullptr && engine_ != nullptr && tracer_->active();
+  }
+
   MigrationPolicy policy_;
   const net::Topology& topology_;
   const net::CostModel& cost_model_;
   net::MessageLedger& ledger_;
   HostResolver host_of_;
+  obs::Tracer* tracer_ = nullptr;
+  const sim::Engine* engine_ = nullptr;
 
   std::uint64_t attempts_ = 0;
   std::uint64_t aborted_ = 0;

@@ -149,6 +149,11 @@ void HostRuntime::process_due(SimTime now) {
       stats_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
     }
     naming_.unregister(done.task);
+    if (tracing()) {
+      trace(trace_event(obs::EventKind::kTaskCompleted)
+                .with("task", done.task)
+                .with("missed", done.time > done.deadline + 1e-9));
+    }
     note_status_change();
   }
   if (help_deadline_ != kNeverTime && now >= help_deadline_) {
@@ -167,6 +172,10 @@ void HostRuntime::send_advert() {
   advert.availability = 1.0 - occupancy();
   network_.multicast(config_.id, Payload{proto::Message{advert}});
   stats_.pledges_sent.fetch_add(1, std::memory_order_relaxed);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kAdvertSent)
+              .with("availability", advert.availability));
+  }
 }
 
 void HostRuntime::handle_advert(const proto::PushAdvertMsg& advert) {
@@ -391,6 +400,11 @@ void HostRuntime::maybe_send_help(SimTime now, double occupancy_with_task) {
       std::max(0.0, occupancy_with_task - config_.protocol.help_threshold));
   network_.multicast(config_.id, Payload{proto::Message{help}});
   stats_.helps_sent.fetch_add(1, std::memory_order_relaxed);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpSent)
+              .with("urgency", help.urgency)
+              .with("members", help.member_count));
+  }
   if (gated) {
     const SimTime timeout = algo_h_.note_help_sent(now);
     help_deadline_ = now + timeout;
@@ -402,7 +416,14 @@ void HostRuntime::handle_help(NodeId from, const proto::HelpMsg& help) {
   if (!pull_based()) return;  // not part of the PUSH schemes
   const SimTime now = clock_.now();
   const double occ = occupancy();
-  if (!algo_p_.should_pledge_on_help(occ)) return;
+  const bool answered = algo_p_.should_pledge_on_help(occ);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpReceived)
+              .with("origin", help.origin)
+              .with("urgency", help.urgency)
+              .with("answered", answered));
+  }
+  if (!answered) return;
   if (config_.discovery == proto::ProtocolKind::kRealtor) {
     membership_.note_refresh_answered(help.origin, now);
   }
@@ -418,6 +439,12 @@ void HostRuntime::handle_pledge(const proto::PledgeMsg& pledge) {
   }
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now, pledge.security_level);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeReceived)
+              .with("pledger", pledge.pledger)
+              .with("availability", pledge.availability)
+              .with("list_size", pledge_list_.size(now)));
+  }
   if (uses_algo_h &&
       config_.protocol.reward_policy ==
           proto::HelpRewardPolicy::kOnFirstUsefulPledge &&
@@ -435,6 +462,11 @@ void HostRuntime::send_pledge_to(NodeId organizer, double occ) {
   pledge.grant_probability = algo_p_.grant_probability(now);
   network_.send(config_.id, organizer, Payload{proto::Message{pledge}});
   stats_.pledges_sent.fetch_add(1, std::memory_order_relaxed);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeSent)
+              .with("organizer", organizer)
+              .with("availability", pledge.availability));
+  }
 }
 
 void HostRuntime::note_status_change() {

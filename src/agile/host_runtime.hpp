@@ -24,6 +24,7 @@
 #include "agile/naming.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "proto/algorithm_h.hpp"
 #include "proto/algorithm_p.hpp"
 #include "proto/availability_table.hpp"
@@ -54,6 +55,9 @@ struct HostConfig {
   /// §3 speculative migration: ship the component state together with the
   /// admission request instead of after the negotiation.
   bool speculative_migration = false;
+  /// Optional borrowed tracer. Reactor threads emit concurrently, so the
+  /// attached sink must be thread-safe (JsonlSink is; MemorySink is not).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Concurrency-safe counters; snapshot with relaxed loads after the run.
@@ -149,6 +153,15 @@ class HostRuntime {
   void send_pledge_to(NodeId organizer, double occ);
   void note_status_change();
   void process_due(SimTime now);
+  bool tracing() const {
+    return config_.tracer != nullptr && config_.tracer->active();
+  }
+  obs::TraceEvent trace_event(obs::EventKind kind) const {
+    return obs::TraceEvent(clock_.now(), config_.id, kind);
+  }
+  void trace(const obs::TraceEvent& event) const {
+    config_.tracer->emit(event);
+  }
 
   HostConfig config_;
   const Clock& clock_;

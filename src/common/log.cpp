@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // empty = stderr default; guarded by g_emit_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -49,11 +50,22 @@ bool parse_log_level(const std::string& text, LogLevel& out) {
   return true;
 }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 namespace detail {
 
 void emit_log(LogLevel level, const std::string& message) {
   // Agile hosts log from multiple threads; serialize whole lines.
   std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

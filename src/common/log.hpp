@@ -2,6 +2,7 @@
 // quiet; protocol traces are enabled per-binary with --log=debug.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,13 +10,25 @@ namespace realtor {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Process-wide minimum level (not thread-safe to mutate mid-run; set it
-/// once at startup before spawning agile hosts).
+/// Process-wide minimum level. Backed by an atomic: safe to mutate from
+/// any thread mid-run (agile hosts included); readers see it on their next
+/// log statement.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Parses "debug" / "info" / "warn" / "error"; returns false on junk.
 bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// Destination of emitted lines. The default sink writes
+/// "[LEVEL] message\n" to stderr; tests and trace tooling install their
+/// own to capture output instead of scraping the stream. Sinks are called
+/// under the emission mutex, so a sink need not synchronize internally but
+/// must not log re-entrantly.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs `sink` (empty = restore the stderr default) and returns the
+/// previous sink (empty if the default was active).
+LogSink set_log_sink(LogSink sink);
 
 namespace detail {
 void emit_log(LogLevel level, const std::string& message);

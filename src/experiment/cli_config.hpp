@@ -16,7 +16,8 @@
 //   extensions: --multires  --bw-mean  --secure-fraction
 //               --federate=WxH (mesh blocks)  --escalation-window
 //               --elusive=<period>
-//   output:    --timeline=<interval>
+//   output:    --timeline=<interval>  --sample-interval=<s>
+//              --engine-sample=<n>
 #pragma once
 
 #include "common/flags.hpp"

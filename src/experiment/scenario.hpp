@@ -130,6 +130,14 @@ struct ScenarioConfig {
   /// disables sampling.
   SimTime timeline_interval = 0.0;
 
+  /// Period of the observability sampler (per-node node_sample trace
+  /// records plus the registry flattened into system_sample records); 0
+  /// disables it. Only useful together with Simulation::set_trace_sink().
+  SimTime sample_interval = 0.0;
+  /// Emit one sampled engine_step trace record every N processed engine
+  /// events (0 = off; disabled costs one integer test per event).
+  std::uint64_t engine_sample_every = 0;
+
   /// When true the internal Poisson generator stays off and the caller
   /// drives the workload through Simulation::inject() (trace replay).
   bool external_arrivals = false;

@@ -109,11 +109,14 @@ Simulation::Simulation(const ScenarioConfig& config)
       };
     }
     env.seed = config_.seed;
+    env.tracer = &tracer_;
     protocols_.push_back(proto::make_protocol(config_.protocol_kind, id,
                                               config_.protocol,
                                               std::move(env)));
   }
+  admission_.set_tracer(&tracer_, &engine_);
   for (NodeId id = 0; id < n; ++id) {
+    hosts_[id]->set_tracer(&tracer_);
     hosts_[id]->set_status_listener([this, id](const node::Host& h) {
       monitors_[id].sample(engine_.now(), h);
       protocols_[id]->on_status_change(h.occupancy());
@@ -128,6 +131,10 @@ Simulation::Simulation(const ScenarioConfig& config)
   injector_.add_listener([this](NodeId nodeid, bool alive) {
     on_liveness_change(nodeid, alive);
   });
+  if (config_.sample_interval > 0.0) {
+    sampler_.emplace(engine_, config_.sample_interval, tracer_, &registry_);
+    sampler_->add_probe([this](SimTime now) { sample_observability(now); });
+  }
 }
 
 void Simulation::handle_arrival(const sim::Arrival& arrival) {
@@ -168,6 +175,12 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
   task.origin = arrival.node;
   task.bandwidth_share = bandwidth_share;
   task.min_security = min_security;
+  if (tracing()) {
+    tracer_.emit(obs::TraceEvent(engine_.now(), arrival.node,
+                                 obs::EventKind::kTaskArrival)
+                     .with("task", task.id)
+                     .with("size", task.size_seconds));
+  }
 
   // Algorithm H's trigger signal: how far the *binding* resource dimension
   // would be pushed by this task. CPU-only runs reduce to queue occupancy;
@@ -189,6 +202,12 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
 
   if (host.try_enqueue(task)) {
     ++metrics_.admitted_local;
+    if (tracing()) {
+      tracer_.emit(obs::TraceEvent(engine_.now(), arrival.node,
+                                   obs::EventKind::kTaskAdmitLocal)
+                       .with("task", task.id)
+                       .with("occupancy", host.occupancy()));
+    }
   } else {
     const auto outcome =
         admission_.try_migrate(task, arrival.node, *protocols_[arrival.node]);
@@ -196,9 +215,22 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
     if (outcome.admitted) {
       ++metrics_.admitted_migrated;
       metrics_.migration_aborts += outcome.attempts - 1;
+      if (tracing()) {
+        tracer_.emit(obs::TraceEvent(engine_.now(), arrival.node,
+                                     obs::EventKind::kTaskAdmitMigrated)
+                         .with("task", task.id)
+                         .with("target", outcome.target)
+                         .with("attempts", outcome.attempts));
+      }
     } else {
       ++metrics_.rejected;
       metrics_.migration_aborts += outcome.attempts;
+      if (tracing()) {
+        tracer_.emit(obs::TraceEvent(engine_.now(), arrival.node,
+                                     obs::EventKind::kTaskRejected)
+                         .with("task", task.id)
+                         .with("attempts", outcome.attempts));
+      }
       if (outcome.attempts == 0) {
         // Local group had nothing to offer: solicit the neighbor groups
         // so future arrivals can migrate out (§7 extension).
@@ -223,10 +255,17 @@ void Simulation::maybe_escalate(NodeId origin) {
   help.origin = origin;
   help.urgency = 1.0;  // escalations only happen once the group is dry
   const federation::GroupId own = groups_->group_of(origin);
+  std::uint32_t notified = 0;
   for (const federation::GroupId neighbor :
        groups_->adjacent_groups(own, topology_)) {
     transport_.escalate(origin, neighbor, proto::Message{help});
     ++metrics_.escalations;
+    ++notified;
+  }
+  if (notified > 0 && tracing()) {
+    tracer_.emit(
+        obs::TraceEvent(now, origin, obs::EventKind::kEscalation)
+            .with("groups", notified));
   }
 }
 
@@ -256,26 +295,44 @@ void Simulation::evacuate(NodeId victim) {
   if (!topology_.alive(victim)) return;
   std::vector<node::Task> resident = hosts_[victim]->drain();
   metrics_.evacuation_candidates += resident.size();
+  std::size_t saved = 0;
   for (node::Task& task : resident) {
     const auto outcome =
         admission_.try_migrate(task, victim, *protocols_[victim]);
     metrics_.migration_attempts += outcome.attempts;
     if (outcome.admitted) {
       ++metrics_.evacuated;
+      ++saved;
     } else {
       // Nowhere to go before the node dies: the work perishes with it.
       ++metrics_.lost_to_attack;
       metrics_.migration_aborts += outcome.attempts;
     }
   }
+  if (tracing()) {
+    tracer_.emit(
+        obs::TraceEvent(engine_.now(), victim, obs::EventKind::kEvacuation)
+            .with("resident", resident.size())
+            .with("saved", saved));
+  }
 }
 
 void Simulation::on_liveness_change(NodeId nodeid, bool alive) {
   if (!alive) {
-    metrics_.lost_to_attack += hosts_[nodeid]->clear();
+    const std::size_t lost = hosts_[nodeid]->clear();
+    metrics_.lost_to_attack += lost;
     protocols_[nodeid]->on_self_killed();
+    if (tracing()) {
+      tracer_.emit(obs::TraceEvent(engine_.now(), nodeid,
+                                   obs::EventKind::kNodeKilled)
+                       .with("lost", lost));
+    }
   } else {
     protocols_[nodeid]->on_self_restored();
+    if (tracing()) {
+      tracer_.emit(obs::TraceEvent(engine_.now(), nodeid,
+                                   obs::EventKind::kNodeRestored));
+    }
   }
 }
 
@@ -334,6 +391,20 @@ const RunMetrics& Simulation::run() {
     engine_.schedule_in(config_.timeline_interval,
                         [this] { take_timeline_sample(); });
   }
+  if (sampler_) {
+    sampler_->start();
+  }
+  if (config_.engine_sample_every > 0) {
+    engine_.set_observer(
+        config_.engine_sample_every,
+        [this](SimTime now, std::uint64_t processed, std::size_t pending) {
+          if (!tracing()) return;
+          tracer_.emit(obs::TraceEvent(now, kInvalidNode,
+                                       obs::EventKind::kEngineStep)
+                           .with("processed", processed)
+                           .with("pending", pending));
+        });
+  }
   if (!config_.external_arrivals) {
     arrivals_.start();
   }
@@ -342,6 +413,7 @@ const RunMetrics& Simulation::run() {
   arrivals_.stop();
 
   finalize_telemetry();
+  tracer_.flush();
 
   REALTOR_ASSERT(metrics_.generated ==
                  metrics_.admitted_local + metrics_.admitted_migrated +
@@ -380,6 +452,36 @@ void Simulation::take_timeline_sample() {
             : 1.0;
   }
   timeline_.push_back(sample);
+}
+
+void Simulation::sample_observability(SimTime now) {
+  const std::size_t alive = topology_.alive_count();
+  double occupancy_sum = 0.0;
+  for (const NodeId id : topology_.alive_nodes()) {
+    const node::Host& host = *hosts_[id];
+    occupancy_sum += host.occupancy();
+    if (!tracing()) continue;
+    const proto::ProtocolProbe probe = protocols_[id]->probe(now);
+    obs::TraceEvent event(now, id, obs::EventKind::kNodeSample);
+    event.with("occupancy", host.occupancy())
+        .with("utilization", monitors_[id].utilization(now))
+        .with("table_size", probe.table_size);
+    if (probe.communities > 0) event.with("communities", probe.communities);
+    if (probe.help_interval > 0.0) {
+      event.with("help_interval", probe.help_interval);
+    }
+    tracer_.emit(event);
+  }
+  registry_.gauge("nodes.alive").set(static_cast<double>(alive));
+  registry_.gauge("occupancy.mean")
+      .set(alive > 0 ? occupancy_sum / static_cast<double>(alive) : 0.0);
+  registry_.gauge("messages.cost").set(metrics_.ledger.overhead_cost());
+  registry_.gauge("tasks.generated")
+      .set(static_cast<double>(metrics_.generated));
+  registry_.gauge("tasks.admitted")
+      .set(static_cast<double>(metrics_.admitted_total()));
+  registry_.gauge("tasks.rejected")
+      .set(static_cast<double>(metrics_.rejected));
 }
 
 void Simulation::finalize_telemetry() {

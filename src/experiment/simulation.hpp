@@ -28,6 +28,9 @@
 #include "net/topology.hpp"
 #include "node/host.hpp"
 #include "node/monitor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "proto/discovery_protocol.hpp"
 #include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
@@ -66,6 +69,16 @@ class Simulation {
   /// Samples recorded at timeline_interval (empty when disabled).
   const std::vector<TimelineSample>& timeline() const { return timeline_; }
 
+  /// Attaches a borrowed trace sink; every instrumented layer (protocols,
+  /// hosts, admission, lifecycle, sampler) starts emitting through it.
+  /// nullptr detaches. Tracing never changes decisions: a traced run of a
+  /// seed is event-for-event identical to the untraced run.
+  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
+
+  obs::Tracer& tracer() { return tracer_; }
+  /// Gauges refreshed at each sampler tick (sample_interval > 0).
+  const obs::Registry& registry() const { return registry_; }
+
   /// Valid after run() as well as before (for tests that drive the engine
   /// manually via engine()).
   const RunMetrics& metrics() const { return metrics_; }
@@ -90,6 +103,8 @@ class Simulation {
   void on_liveness_change(NodeId nodeid, bool alive);
   void schedule_attacks();
   void finalize_telemetry();
+  void sample_observability(SimTime now);
+  bool tracing() const { return tracer_.active(); }
 
   ScenarioConfig config_;
   sim::Engine engine_;
@@ -108,6 +123,9 @@ class Simulation {
   RngStream attack_rng_;
   RngStream multires_rng_;
   std::vector<TimelineSample> timeline_;
+  obs::Tracer tracer_;
+  obs::Registry registry_;
+  std::optional<obs::Sampler> sampler_;
   bool ran_ = false;
 };
 

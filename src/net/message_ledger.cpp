@@ -59,6 +59,16 @@ double MessageLedger::overhead_cost() const {
   return total_cost() - cost(MessageKind::kMigration);
 }
 
+LedgerSnapshot MessageLedger::snapshot() const {
+  LedgerSnapshot snap;
+  snap.sends = sends_;
+  snap.cost = cost_;
+  snap.total_sends = total_sends();
+  snap.total_cost = total_cost();
+  snap.overhead_cost = overhead_cost();
+  return snap;
+}
+
 void MessageLedger::merge(const MessageLedger& other) {
   for (std::size_t i = 0; i < sends_.size(); ++i) {
     sends_[i] += other.sends_[i];

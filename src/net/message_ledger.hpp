@@ -25,6 +25,25 @@ enum class MessageKind : std::size_t {
 
 const char* to_string(MessageKind kind);
 
+/// Value copy of a ledger's state at one instant, for samplers and
+/// reports that must not hold a reference into the live ledger.
+struct LedgerSnapshot {
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      sends{};
+  std::array<double, static_cast<std::size_t>(MessageKind::kCount)> cost{};
+  std::uint64_t total_sends = 0;
+  double total_cost = 0.0;
+  /// Everything except the migration payload (Figs 6-7 y-axis).
+  double overhead_cost = 0.0;
+
+  std::uint64_t sends_of(MessageKind kind) const {
+    return sends[static_cast<std::size_t>(kind)];
+  }
+  double cost_of(MessageKind kind) const {
+    return cost[static_cast<std::size_t>(kind)];
+  }
+};
+
 class MessageLedger {
  public:
   /// `count` protocol-level sends costing `cost_units` network messages in
@@ -40,6 +59,9 @@ class MessageLedger {
   /// Everything except the migration payload itself — the discovery +
   /// negotiation overhead plotted in Figs 6-7.
   double overhead_cost() const;
+
+  /// Consistent copy of every counter plus the derived totals.
+  LedgerSnapshot snapshot() const;
 
   void merge(const MessageLedger& other);
   void reset();

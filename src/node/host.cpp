@@ -139,6 +139,14 @@ void Host::on_completion() {
   bandwidth_in_use_ -= in_service_.bandwidth_share;
   if (bandwidth_in_use_ < 0.0) bandwidth_in_use_ = 0.0;
   const Task finished = in_service_;
+  if (tracer_ != nullptr && tracer_->active()) {
+    tracer_->emit(
+        obs::TraceEvent(engine_.now(), id_, obs::EventKind::kTaskCompleted)
+            .with("task", finished.id)
+            .with("size", finished.size_seconds)
+            .with("response", engine_.now() - finished.arrival_time)
+            .with("migrations", finished.migrations));
+  }
   if (!queue_.empty()) {
     start_next();
   }

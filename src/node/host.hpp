@@ -21,6 +21,7 @@
 
 #include "common/types.hpp"
 #include "node/task.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace realtor::node {
@@ -100,6 +101,10 @@ class Host {
   void set_status_listener(StatusListener listener);
   void set_completion_listener(CompletionListener listener);
 
+  /// Attaches a borrowed tracer for task_completed records (nullptr
+  /// detaches — the zero-overhead default).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   sim::Engine& engine() const { return engine_; }
 
  private:
@@ -126,6 +131,7 @@ class Host {
 
   StatusListener status_listener_;
   CompletionListener completion_listener_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace realtor::node

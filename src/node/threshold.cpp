@@ -18,7 +18,12 @@ Crossing ThresholdDetector::update(double value) {
   }
   if (now_above == above_) return Crossing::kNone;
   above_ = now_above;
-  return now_above ? Crossing::kUp : Crossing::kDown;
+  if (now_above) {
+    ++up_count_;
+    return Crossing::kUp;
+  }
+  ++down_count_;
+  return Crossing::kDown;
 }
 
 void ThresholdDetector::reset() {

@@ -1,0 +1,119 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace realtor::obs {
+namespace {
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, res.ptr);
+}
+
+void append_double(std::string& out, double value) {
+  // Shortest round-trip form; JSON has no inf/nan, quote those.
+  if (!std::isfinite(value)) {
+    out += std::isnan(value) ? "\"nan\"" : (value > 0 ? "\"inf\"" : "\"-inf\"");
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_jsonl(const TraceEvent& event) {
+  std::string line;
+  line.reserve(96);
+  line += "{\"t\":";
+  append_double(line, event.time);
+  if (event.node != kInvalidNode) {
+    line += ",\"node\":";
+    append_uint(line, event.node);
+  }
+  line += ",\"kind\":\"";
+  line += to_string(event.kind);
+  line += '"';
+  for (std::uint32_t i = 0; i < event.field_count; ++i) {
+    const TraceField& field = event.fields[i];
+    line += ",\"";
+    append_json_escaped(line, field.key);
+    line += "\":";
+    switch (field.type) {
+      case TraceField::Type::kUint:
+        append_uint(line, field.u);
+        break;
+      case TraceField::Type::kDouble:
+        append_double(line, field.d);
+        break;
+      case TraceField::Type::kString:
+        line += '"';
+        append_json_escaped(line, field.s != nullptr ? field.s : "");
+        line += '"';
+        break;
+      case TraceField::Type::kBool:
+        line += field.b ? "true" : "false";
+        break;
+      case TraceField::Type::kNone:
+        line += "null";
+        break;
+    }
+  }
+  line += '}';
+  return line;
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path) : file_(path) {
+  if (file_.is_open()) out_ = &file_;
+}
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  const std::string line = format_jsonl(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+}  // namespace realtor::obs

@@ -1,0 +1,49 @@
+// JSONL trace sink: one flat JSON object per event, one event per line.
+//
+//   {"t":12.5,"node":3,"kind":"help_sent","urgency":1,"interval":2.5}
+//
+// "t", "kind" are always present; "node" is omitted for system-wide
+// records. Numbers round-trip (shortest std::to_chars form), strings are
+// escaped per RFC 8259. Lines are written under a mutex so the threaded
+// Agile runtime can share one sink across reactor threads.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace realtor::obs {
+
+/// Appends `text` JSON-escaped (quotes, backslashes, control characters).
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// The sink's line format without the trailing newline; exposed for tests.
+std::string format_jsonl(const TraceEvent& event);
+
+class JsonlSink final : public TraceSink {
+ public:
+  /// Writes to a borrowed stream (tests, stdout piping).
+  explicit JsonlSink(std::ostream& out);
+  /// Opens `path` for writing; check ok() before use.
+  explicit JsonlSink(const std::string& path);
+
+  /// False when the file constructor failed to open the path.
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::mutex mutex_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace realtor::obs

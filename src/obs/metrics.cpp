@@ -1,0 +1,48 @@
+#include "obs/metrics.hpp"
+
+namespace realtor::obs {
+namespace {
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& table,
+                  const std::string& name) {
+  auto it = table.find(name);
+  if (it == table.end()) {
+    it = table.emplace(name, std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return find_or_create(histograms_, name);
+}
+
+void Registry::for_each(
+    const std::function<void(const std::string&, double)>& fn) const {
+  for (const auto& [name, counter] : counters_) {
+    fn(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    fn(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const OnlineStats& stats = histogram->stats();
+    if (stats.count() == 0) continue;
+    fn(name + ".count", static_cast<double>(stats.count()));
+    fn(name + ".mean", stats.mean());
+    fn(name + ".min", stats.min());
+    fn(name + ".max", stats.max());
+  }
+}
+
+}  // namespace realtor::obs

@@ -1,0 +1,83 @@
+// Named counters / gauges / histograms with a flattening walk for the
+// time-series sampler.
+//
+// The registry hands out stable references: instrument once at setup
+// (`auto& admitted = registry.counter("tasks.admitted")`), update on the
+// hot path with a plain add/set, and let the sampler flatten everything
+// into system_sample trace records at its period. Metric names live in the
+// registry for its lifetime, so their c_str() pointers are safe to put in
+// TraceField string slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace realtor::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Streaming distribution (count/mean/min/max via common OnlineStats).
+class Histogram {
+ public:
+  void observe(double value) { stats_.add(value); }
+  const OnlineStats& stats() const { return stats_; }
+  void reset() { stats_ = OnlineStats{}; }
+
+ private:
+  OnlineStats stats_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create; the returned reference stays valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Visits every metric as flat (name, value) pairs — counters, then
+  /// gauges, then histograms, each group sorted by name. Counters and
+  /// gauges yield one pair; histograms yield name.count / name.mean /
+  /// name.min / name.max (skipped when empty).
+  void for_each(
+      const std::function<void(const std::string& name, double value)>& fn)
+      const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // unique_ptr keeps references stable; map keeps for_each deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace realtor::obs

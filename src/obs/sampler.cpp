@@ -1,0 +1,45 @@
+#include "obs/sampler.hpp"
+
+#include "common/assert.hpp"
+
+namespace realtor::obs {
+
+Sampler::Sampler(sim::Engine& engine, SimTime interval, Tracer& tracer,
+                 const Registry* registry)
+    : engine_(engine),
+      interval_(interval),
+      tracer_(tracer),
+      registry_(registry) {
+  REALTOR_ASSERT_MSG(interval_ > 0.0, "sampling interval must be positive");
+}
+
+void Sampler::start() {
+  engine_.schedule_in(interval_, [this] { tick(); });
+}
+
+void Sampler::tick() {
+  engine_.schedule_in(interval_, [this] { tick(); });
+  ++ticks_;
+  const SimTime now = engine_.now();
+  for (const Probe& probe : probes_) {
+    probe(now);
+  }
+  if (registry_ != nullptr && tracer_.active()) {
+    registry_->for_each([this, now](const std::string& name, double value) {
+      tracer_.emit(TraceEvent(now, kInvalidNode, EventKind::kSystemSample)
+                       .with("name", intern(name))
+                       .with("value", value));
+    });
+  }
+}
+
+const char* Sampler::intern(const std::string& name) {
+  const auto it = interned_.find(name);
+  if (it != interned_.end()) return it->second;
+  name_arena_.push_back(name);
+  const char* stable = name_arena_.back().c_str();
+  interned_.emplace(name, stable);
+  return stable;
+}
+
+}  // namespace realtor::obs

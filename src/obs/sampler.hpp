@@ -1,0 +1,57 @@
+// Periodic time-series sampler driven by the simulation engine.
+//
+// Every `interval` simulated seconds the sampler runs its probes (harness
+// callbacks that emit node_sample records and refresh registry gauges),
+// then flattens the attached Registry into one system_sample trace record
+// per metric. Sampling only reads state, so enabling it never perturbs a
+// run's decisions — traces from the same seed match untraced runs.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::obs {
+
+class Sampler {
+ public:
+  /// Called at each sampling tick, before the registry flattening walk.
+  using Probe = std::function<void(SimTime now)>;
+
+  /// `registry` may be nullptr (probe-only sampling). All pointers are
+  /// borrowed and must outlive the sampler.
+  Sampler(sim::Engine& engine, SimTime interval, Tracer& tracer,
+          const Registry* registry);
+
+  void add_probe(Probe probe) { probes_.push_back(std::move(probe)); }
+
+  /// Schedules the first tick `interval` seconds from now.
+  void start();
+
+  SimTime interval() const { return interval_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+  /// Stable storage for flattened metric names: TraceField keeps borrowed
+  /// const char* slots, so every name a system_sample record mentions is
+  /// interned here once.
+  const char* intern(const std::string& name);
+
+  sim::Engine& engine_;
+  SimTime interval_;
+  Tracer& tracer_;
+  const Registry* registry_;
+  std::vector<Probe> probes_;
+  std::deque<std::string> name_arena_;
+  std::unordered_map<std::string, const char*> interned_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace realtor::obs

@@ -1,0 +1,213 @@
+#include "obs/trace_reader.hpp"
+
+#include <charconv>
+#include <fstream>
+
+namespace realtor::obs {
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool fail(const Cursor& cursor, std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + " at offset " + std::to_string(cursor.pos);
+  }
+  return false;
+}
+
+bool parse_string(Cursor& cursor, std::string& out, std::string* error) {
+  if (!cursor.consume('"')) return fail(cursor, error, "expected '\"'");
+  out.clear();
+  while (!cursor.done()) {
+    const char c = cursor.text[cursor.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (cursor.done()) break;
+    const char esc = cursor.text[cursor.pos++];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'u': {
+        if (cursor.pos + 4 > cursor.text.size()) {
+          return fail(cursor, error, "truncated \\u escape");
+        }
+        unsigned code = 0;
+        const char* first = cursor.text.data() + cursor.pos;
+        const auto res = std::from_chars(first, first + 4, code, 16);
+        if (res.ptr != first + 4) {
+          return fail(cursor, error, "bad \\u escape");
+        }
+        cursor.pos += 4;
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else {  // non-ASCII escapes: keep a readable placeholder
+          out += '?';
+        }
+        break;
+      }
+      default:
+        return fail(cursor, error, "unknown escape");
+    }
+  }
+  return fail(cursor, error, "unterminated string");
+}
+
+bool parse_value(Cursor& cursor, JsonValue& out, std::string* error) {
+  cursor.skip_ws();
+  if (cursor.done()) return fail(cursor, error, "expected value");
+  const char c = cursor.peek();
+  if (c == '"') {
+    out.type = JsonValue::Type::kString;
+    return parse_string(cursor, out.text, error);
+  }
+  if (cursor.text.substr(cursor.pos, 4) == "true") {
+    out.type = JsonValue::Type::kBool;
+    out.boolean = true;
+    cursor.pos += 4;
+    return true;
+  }
+  if (cursor.text.substr(cursor.pos, 5) == "false") {
+    out.type = JsonValue::Type::kBool;
+    out.boolean = false;
+    cursor.pos += 5;
+    return true;
+  }
+  if (cursor.text.substr(cursor.pos, 4) == "null") {
+    out.type = JsonValue::Type::kNull;
+    cursor.pos += 4;
+    return true;
+  }
+  const char* first = cursor.text.data() + cursor.pos;
+  const char* last = cursor.text.data() + cursor.text.size();
+  double number = 0.0;
+  const auto res = std::from_chars(first, last, number);
+  if (res.ec != std::errc{} || res.ptr == first) {
+    return fail(cursor, error, "expected number");
+  }
+  out.type = JsonValue::Type::kNumber;
+  out.number = number;
+  cursor.pos += static_cast<std::size_t>(res.ptr - first);
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* ParsedEvent::find(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double ParsedEvent::number(std::string_view key, double fallback) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return value->number;
+}
+
+bool parse_jsonl_line(std::string_view line, ParsedEvent& out,
+                      std::string* error) {
+  out = ParsedEvent{};
+  Cursor cursor{line};
+  if (!cursor.consume('{')) return fail(cursor, error, "expected '{'");
+  bool saw_time = false;
+  bool saw_kind = false;
+  if (!cursor.consume('}')) {
+    while (true) {
+      std::string key;
+      if (!parse_string(cursor, key, error)) return false;
+      if (!cursor.consume(':')) return fail(cursor, error, "expected ':'");
+      JsonValue value;
+      if (!parse_value(cursor, value, error)) return false;
+      if (key == "t" && value.type == JsonValue::Type::kNumber) {
+        out.time = value.number;
+        saw_time = true;
+      } else if (key == "node" && value.type == JsonValue::Type::kNumber) {
+        out.node = static_cast<NodeId>(value.number);
+      } else if (key == "kind" && value.type == JsonValue::Type::kString) {
+        out.kind = value.text;
+        saw_kind = true;
+      } else {
+        out.fields.emplace_back(std::move(key), std::move(value));
+      }
+      if (cursor.consume(',')) continue;
+      if (cursor.consume('}')) break;
+      return fail(cursor, error, "expected ',' or '}'");
+    }
+  }
+  cursor.skip_ws();
+  if (!cursor.done()) return fail(cursor, error, "trailing garbage");
+  if (!saw_time) return fail(cursor, error, "record has no \"t\"");
+  if (!saw_kind) return fail(cursor, error, "record has no \"kind\"");
+  return true;
+}
+
+bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out.clear();
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ParsedEvent event;
+    std::string line_error;
+    if (!parse_jsonl_line(line, event, &line_error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": " + line_error;
+      }
+      return false;
+    }
+    out.push_back(std::move(event));
+  }
+  return true;
+}
+
+}  // namespace realtor::obs

@@ -1,0 +1,50 @@
+// Reader for JSONL traces written by JsonlSink.
+//
+// A deliberately small flat-object JSON parser: every line the sink emits
+// is one object whose values are numbers, strings, booleans or null. The
+// reader is what `realtor_trace` and the tests build on, and it rejects
+// malformed lines with a positioned error instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace realtor::obs {
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull = 0, kNumber, kString, kBool };
+  Type type = Type::kNull;
+  double number = 0.0;
+  std::string text;
+  bool boolean = false;
+};
+
+/// One parsed trace record. "t", "node" and "kind" are lifted out of the
+/// payload; everything else stays in `fields` in line order.
+struct ParsedEvent {
+  double time = 0.0;
+  NodeId node = kInvalidNode;  // absent for system-wide records
+  std::string kind;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(std::string_view key) const;
+  /// Numeric field access; `fallback` when missing or non-numeric.
+  double number(std::string_view key, double fallback = 0.0) const;
+};
+
+/// Parses one JSONL line. On failure returns false and, when `error` is
+/// non-null, stores a description including the byte offset.
+bool parse_jsonl_line(std::string_view line, ParsedEvent& out,
+                      std::string* error = nullptr);
+
+/// Reads a whole trace file; stops at the first malformed line. `error`
+/// (when non-null) reports "<line-number>: <reason>" on failure; an
+/// unreadable path is also a failure.
+bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
+                     std::string* error = nullptr);
+
+}  // namespace realtor::obs

@@ -26,7 +26,15 @@ void AdaptivePullProtocol::on_task_arrival(double occupancy_with_task) {
 
 void AdaptivePullProtocol::solicit() {
   if (!env_.topology->alive(self_)) return;
+  if (tracing()) trace(trace_event(obs::EventKind::kSolicit));
   send_help(1.0);  // emergency: bypass the Algorithm-H interval gate
+}
+
+void AdaptivePullProtocol::trace_interval(const char* reason) const {
+  if (!tracing()) return;
+  trace(trace_event(obs::EventKind::kHelpInterval)
+            .with("interval", algo_h_.interval())
+            .with("reason", reason));
 }
 
 void AdaptivePullProtocol::send_help(double urgency) {
@@ -36,7 +44,16 @@ void AdaptivePullProtocol::send_help(double urgency) {
   help.urgency = urgency;
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
-  help_timer_.arm(timeout, [this] { algo_h_.note_timeout(); });
+  help_timer_.arm(timeout, [this] {
+    algo_h_.note_timeout();
+    trace_interval("timeout");
+  });
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpSent)
+              .with("urgency", urgency)
+              .with("interval", algo_h_.interval())
+              .with("members", help.member_count));
+  }
 }
 
 void AdaptivePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
@@ -50,7 +67,14 @@ void AdaptivePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
 void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
   if (!env_.topology->alive(self_)) return;
   const double occupancy = local_occupancy();
-  if (!responder_.should_pledge_on_help(occupancy)) return;
+  const bool answered = responder_.should_pledge_on_help(occupancy);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpReceived)
+              .with("origin", help.origin)
+              .with("urgency", help.urgency)
+              .with("answered", answered));
+  }
+  if (!answered) return;
   PledgeMsg pledge;
   pledge.pledger = self_;
   pledge.availability = 1.0 - occupancy;
@@ -58,6 +82,12 @@ void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
   env_.transport->unicast(self_, help.origin, Message{pledge});
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeSent)
+              .with("organizer", help.origin)
+              .with("availability", pledge.availability)
+              .with("grant_probability", pledge.grant_probability));
+  }
 }
 
 void AdaptivePullProtocol::handle_pledge(const PledgeMsg& pledge) {
@@ -68,9 +98,15 @@ void AdaptivePullProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeReceived)
+              .with("pledger", pledge.pledger)
+              .with("availability", pledge.availability)
+              .with("list_size", pledge_list_.size(now())));
+  }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {
-    algo_h_.claim_round_reward();
+    if (algo_h_.claim_round_reward()) trace_interval("reward");
   }
 }
 
@@ -88,6 +124,7 @@ void AdaptivePullProtocol::on_migration_result(NodeId target, double fraction,
     if (config_.reward_policy == HelpRewardPolicy::kOnMigrationSuccess) {
       // Fig. 2 "a node is found for migration": the list delivered.
       algo_h_.note_success();
+      trace_interval("reward");
     }
   } else {
     pledge_list_.remove(target);
@@ -97,6 +134,13 @@ void AdaptivePullProtocol::on_migration_result(NodeId target, double fraction,
 void AdaptivePullProtocol::on_self_killed() {
   pledge_list_.clear();
   help_timer_.cancel();
+}
+
+ProtocolProbe AdaptivePullProtocol::probe(SimTime now) const {
+  ProtocolProbe out;
+  out.table_size = pledge_list_.size(now);
+  out.help_interval = algo_h_.interval();
+  return out;
 }
 
 }  // namespace realtor::proto

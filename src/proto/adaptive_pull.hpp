@@ -33,6 +33,7 @@ class AdaptivePullProtocol final : public DiscoveryProtocol {
                            bool success) override;
   void on_self_killed() override;
   void solicit() override;
+  ProtocolProbe probe(SimTime now) const override;
 
   const AlgorithmH& algorithm_h() const { return algo_h_; }
 
@@ -40,6 +41,7 @@ class AdaptivePullProtocol final : public DiscoveryProtocol {
   void send_help(double urgency);
   void handle_help(const HelpMsg& help);
   void handle_pledge(const PledgeMsg& pledge);
+  void trace_interval(const char* reason) const;
 
   AlgorithmH algo_h_;
   AlgorithmP responder_;

@@ -11,12 +11,25 @@ AdaptivePushProtocol::AdaptivePushProtocol(NodeId self,
 
 void AdaptivePushProtocol::on_status_change(double occupancy) {
   if (!env_.topology->alive(self_)) return;
-  if (detector_.update(occupancy) == node::Crossing::kNone) return;
+  const node::Crossing crossing = detector_.update(occupancy);
+  if (crossing == node::Crossing::kNone) return;
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kThresholdCrossing)
+              .with("direction",
+                    crossing == node::Crossing::kUp ? "up" : "down")
+              .with("occupancy", occupancy)
+              .with("threshold", detector_.threshold()));
+  }
   PushAdvertMsg advert;
   advert.origin = self_;
   advert.availability = 1.0 - occupancy;
   advert.security_level = local_security();
   env_.transport->flood(self_, Message{advert});
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kAdvertSent)
+              .with("availability", advert.availability)
+              .with("periodic", false));
+  }
 }
 
 void AdaptivePushProtocol::on_task_arrival(double /*occupancy_with_task*/) {}
@@ -46,6 +59,12 @@ void AdaptivePushProtocol::on_migration_result(NodeId target, double fraction,
 void AdaptivePushProtocol::on_self_killed() {
   detector_.reset();
   table_ = AvailabilityTable(self_, config_.availability_floor);
+}
+
+ProtocolProbe AdaptivePushProtocol::probe(SimTime /*now*/) const {
+  ProtocolProbe out;
+  out.table_size = table_.size();
+  return out;
 }
 
 }  // namespace realtor::proto

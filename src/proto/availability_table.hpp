@@ -39,6 +39,8 @@ class AvailabilityTable {
   double availability(NodeId node) const;
 
   bool heard_from(NodeId node) const { return entries_.count(node) > 0; }
+  /// Entries currently held (push-side sampler probe).
+  std::size_t size() const { return entries_.size(); }
 
   /// Candidates among `peers` matching the requirements, best
   /// availability first, random tie-break. Security of never-heard peers

@@ -54,9 +54,10 @@ std::uint32_t CommunityMembership::count(SimTime now) const {
   return live;
 }
 
-void CommunityMembership::prune(SimTime now) {
+void CommunityMembership::prune(SimTime now, std::vector<NodeId>* expired) {
   for (auto it = joined_.begin(); it != joined_.end();) {
     if (now - it->second > ttl_) {
+      if (expired != nullptr) expired->push_back(it->first);
       it = joined_.erase(it);
     } else {
       ++it;

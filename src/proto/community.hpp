@@ -39,8 +39,9 @@ class CommunityMembership {
   /// Live membership count.
   std::uint32_t count(SimTime now) const;
 
-  /// Drops expired memberships.
-  void prune(SimTime now);
+  /// Drops expired memberships; when `expired` is non-null the dropped
+  /// organizers are appended (community-churn trace hook).
+  void prune(SimTime now, std::vector<NodeId>* expired = nullptr);
 
   void clear() { joined_.clear(); }
 

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "proto/config.hpp"
 #include "proto/message.hpp"
 #include "proto/transport.hpp"
@@ -34,6 +35,10 @@ struct ProtocolEnv {
   std::function<std::uint8_t()> local_security;
   /// Root seed; per-node tie-break streams derive from it.
   std::uint64_t seed = 0;
+  /// Optional event tracer (nullptr = untraced, the zero-overhead
+  /// default). Borrowed from the harness; emission never changes protocol
+  /// decisions, so traced and untraced runs of one seed are identical.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Requirements of the task a candidate must be able to take (all
@@ -44,6 +49,18 @@ struct CandidateQuery {
   double min_availability = 0.0;
   /// Required host security clearance.
   std::uint8_t min_security = 0;
+};
+
+/// Read-only snapshot of a protocol's soft state, taken by the
+/// time-series sampler. Fields a scheme does not maintain stay zero.
+struct ProtocolProbe {
+  /// Entries in the candidate store (pledge list, availability table, or
+  /// gossip digest).
+  std::size_t table_size = 0;
+  /// Live community memberships (REALTOR only).
+  std::uint32_t communities = 0;
+  /// Current Algorithm-H solicitation interval (adaptive pull schemes).
+  double help_interval = 0.0;
 };
 
 class DiscoveryProtocol {
@@ -103,9 +120,24 @@ class DiscoveryProtocol {
   /// This host recovered from a kill and rejoins the system.
   virtual void on_self_restored() {}
 
+  /// Soft-state snapshot for the sampler; never mutates (no expiry sweep).
+  virtual ProtocolProbe probe(SimTime /*now*/) const { return {}; }
+
  protected:
   SimTime now() const { return env_.engine->now(); }
   double local_occupancy() const { return env_.local_occupancy(); }
+
+  /// True when an active tracer is attached — the guard every emission
+  /// site tests before building its event payload.
+  bool tracing() const {
+    return env_.tracer != nullptr && env_.tracer->active();
+  }
+  /// Event pre-stamped with the current time and this node; only call
+  /// under tracing().
+  obs::TraceEvent trace_event(obs::EventKind kind) const {
+    return obs::TraceEvent(now(), self_, kind);
+  }
+  void trace(const obs::TraceEvent& event) const { env_.tracer->emit(event); }
   std::uint8_t local_security() const {
     return env_.local_security ? env_.local_security() : 255;
   }

@@ -67,6 +67,11 @@ void GossipProtocol::gossip_round() {
     std::swap(alive_peers[i], alive_peers[j]);
     send_digest(alive_peers[i], /*reply=*/false);
   }
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kGossipRound)
+              .with("fanout", fanout)
+              .with("digest_size", digest_.size()));
+  }
 }
 
 void GossipProtocol::merge(const std::vector<DigestEntry>& digest) {
@@ -87,6 +92,12 @@ void GossipProtocol::on_message(NodeId from, const Message& msg) {
     // Pull half of push-pull: answer with our (just merged) digest.
     send_digest(from, /*reply=*/true);
   }
+}
+
+ProtocolProbe GossipProtocol::probe(SimTime /*now*/) const {
+  ProtocolProbe out;
+  out.table_size = digest_.size();
+  return out;
 }
 
 std::vector<NodeId> GossipProtocol::migration_candidates(

@@ -41,6 +41,7 @@ class GossipProtocol final : public DiscoveryProtocol {
   std::uint64_t version_of(NodeId node) const;
   double availability_of(NodeId node) const;
   std::size_t digest_size() const { return digest_.size(); }
+  ProtocolProbe probe(SimTime now) const override;
 
  private:
   void gossip_round();

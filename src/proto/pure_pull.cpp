@@ -25,6 +25,7 @@ void PurePullProtocol::on_task_arrival(double occupancy_with_task) {
 
 void PurePullProtocol::solicit() {
   if (!env_.topology->alive(self_)) return;
+  if (tracing()) trace(trace_event(obs::EventKind::kSolicit));
   send_help(1.0);
 }
 
@@ -35,6 +36,11 @@ void PurePullProtocol::send_help(double urgency) {
   help.urgency = urgency;
   env_.transport->flood(self_, Message{help});
   ++helps_sent_;
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpSent)
+              .with("urgency", urgency)
+              .with("members", help.member_count));
+  }
 }
 
 void PurePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
@@ -48,7 +54,14 @@ void PurePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
 void PurePullProtocol::handle_help(const HelpMsg& help) {
   if (!env_.topology->alive(self_)) return;
   const double occupancy = local_occupancy();
-  if (!responder_.should_pledge_on_help(occupancy)) return;
+  const bool answered = responder_.should_pledge_on_help(occupancy);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpReceived)
+              .with("origin", help.origin)
+              .with("urgency", help.urgency)
+              .with("answered", answered));
+  }
+  if (!answered) return;
   PledgeMsg pledge;
   pledge.pledger = self_;
   pledge.availability = 1.0 - occupancy;
@@ -56,12 +69,24 @@ void PurePullProtocol::handle_help(const HelpMsg& help) {
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
   env_.transport->unicast(self_, help.origin, Message{pledge});
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeSent)
+              .with("organizer", help.origin)
+              .with("availability", pledge.availability)
+              .with("grant_probability", pledge.grant_probability));
+  }
 }
 
 void PurePullProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeReceived)
+              .with("pledger", pledge.pledger)
+              .with("availability", pledge.availability)
+              .with("list_size", pledge_list_.size(now())));
+  }
 }
 
 std::vector<NodeId> PurePullProtocol::migration_candidates(
@@ -81,5 +106,11 @@ void PurePullProtocol::on_migration_result(NodeId target, double fraction,
 }
 
 void PurePullProtocol::on_self_killed() { pledge_list_.clear(); }
+
+ProtocolProbe PurePullProtocol::probe(SimTime now) const {
+  ProtocolProbe out;
+  out.table_size = pledge_list_.size(now);
+  return out;
+}
 
 }  // namespace realtor::proto

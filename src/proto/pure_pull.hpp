@@ -31,6 +31,7 @@ class PurePullProtocol final : public DiscoveryProtocol {
                            bool success) override;
   void on_self_killed() override;
   void solicit() override;
+  ProtocolProbe probe(SimTime now) const override;
 
   std::uint64_t helps_sent() const { return helps_sent_; }
 

@@ -17,6 +17,11 @@ void PurePushProtocol::advertise() {
   advert.availability = 1.0 - local_occupancy();
   advert.security_level = local_security();
   env_.transport->flood(self_, Message{advert});
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kAdvertSent)
+              .with("availability", advert.availability)
+              .with("periodic", true));
+  }
 }
 
 void PurePushProtocol::on_status_change(double /*occupancy*/) {
@@ -52,6 +57,12 @@ void PurePushProtocol::on_migration_result(NodeId target, double fraction,
 void PurePushProtocol::on_self_killed() {
   advertiser_.stop();
   table_ = AvailabilityTable(self_, config_.availability_floor);
+}
+
+ProtocolProbe PurePushProtocol::probe(SimTime /*now*/) const {
+  ProtocolProbe out;
+  out.table_size = table_.size();
+  return out;
 }
 
 }  // namespace realtor::proto

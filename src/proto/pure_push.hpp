@@ -32,6 +32,7 @@ class PurePushProtocol final : public DiscoveryProtocol {
                            bool success) override;
   void on_self_killed() override;
   void on_self_restored() override { advertiser_.start(); }
+  ProtocolProbe probe(SimTime now) const override;
 
  private:
   void advertise();

@@ -4,6 +4,12 @@
 
 namespace realtor::proto {
 
+namespace {
+const char* crossing_name(node::Crossing crossing) {
+  return crossing == node::Crossing::kUp ? "up" : "down";
+}
+}  // namespace
+
 RealtorProtocol::RealtorProtocol(NodeId self, const ProtocolConfig& config,
                                  ProtocolEnv env)
     : DiscoveryProtocol(self, config, std::move(env)),
@@ -13,14 +19,36 @@ RealtorProtocol::RealtorProtocol(NodeId self, const ProtocolConfig& config,
       membership_(config.soft_state_ttl, config.max_communities),
       help_timer_(*env_.engine) {}
 
+void RealtorProtocol::trace_interval(const char* reason) const {
+  if (!tracing()) return;
+  trace(trace_event(obs::EventKind::kHelpInterval)
+            .with("interval", algo_h_.interval())
+            .with("reason", reason));
+}
+
 void RealtorProtocol::on_status_change(double occupancy) {
   if (!env_.topology->alive(self_)) return;
   const node::Crossing crossing = algo_p_.note_status(now(), occupancy);
   if (crossing == node::Crossing::kNone) return;
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kThresholdCrossing)
+              .with("direction", crossing_name(crossing))
+              .with("occupancy", occupancy)
+              .with("threshold", algo_p_.threshold()));
+  }
   // Fig. 3 second rule: status crossed the threshold — update every
   // community we belong to. Crossing up advertises (near-)zero
   // availability so organizers stop counting on us.
-  membership_.prune(now());
+  if (tracing()) {
+    std::vector<NodeId> expired;
+    membership_.prune(now(), &expired);
+    for (const NodeId organizer : expired) {
+      trace(trace_event(obs::EventKind::kCommunityExpire)
+                .with("organizer", organizer));
+    }
+  } else {
+    membership_.prune(now());
+  }
   for (const NodeId organizer : membership_.active_organizers(now())) {
     send_pledge_to(organizer, occupancy);
     ++unsolicited_pledges_;
@@ -36,6 +64,7 @@ void RealtorProtocol::on_task_arrival(double occupancy_with_task) {
 
 void RealtorProtocol::solicit() {
   if (!env_.topology->alive(self_)) return;
+  if (tracing()) trace(trace_event(obs::EventKind::kSolicit));
   send_help(1.0);  // emergency: bypass the Algorithm-H interval gate
 }
 
@@ -46,7 +75,16 @@ void RealtorProtocol::send_help(double urgency) {
   help.urgency = urgency;
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
-  help_timer_.arm(timeout, [this] { algo_h_.note_timeout(); });
+  help_timer_.arm(timeout, [this] {
+    algo_h_.note_timeout();
+    trace_interval("timeout");
+  });
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpSent)
+              .with("urgency", urgency)
+              .with("interval", algo_h_.interval())
+              .with("members", help.member_count));
+  }
 }
 
 void RealtorProtocol::on_message(NodeId /*from*/, const Message& msg) {
@@ -65,8 +103,22 @@ void RealtorProtocol::handle_help(const HelpMsg& help) {
   // or de-facto leaves). The membership budget only bounds how many
   // communities receive our future unsolicited status updates — the reply
   // itself is unconditional.
-  if (!algo_p_.should_pledge_on_help(occupancy)) return;
+  const bool answered = algo_p_.should_pledge_on_help(occupancy);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kHelpReceived)
+              .with("origin", help.origin)
+              .with("urgency", help.urgency)
+              .with("answered", answered));
+  }
+  if (!answered) return;
+  const bool was_member = membership_.is_member_of(help.origin, now());
   membership_.note_refresh_answered(help.origin, now());
+  if (!was_member && tracing() &&
+      membership_.is_member_of(help.origin, now())) {
+    trace(trace_event(obs::EventKind::kCommunityJoin)
+              .with("organizer", help.origin)
+              .with("communities", membership_.count(now())));
+  }
   send_pledge_to(help.origin, occupancy);
 }
 
@@ -78,6 +130,12 @@ void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy) {
   pledge.grant_probability = algo_p_.grant_probability(now());
   pledge.security_level = local_security();
   env_.transport->unicast(self_, organizer, Message{pledge});
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeSent)
+              .with("organizer", organizer)
+              .with("availability", pledge.availability)
+              .with("grant_probability", pledge.grant_probability));
+  }
 }
 
 void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
@@ -88,9 +146,15 @@ void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  if (tracing()) {
+    trace(trace_event(obs::EventKind::kPledgeReceived)
+              .with("pledger", pledge.pledger)
+              .with("availability", pledge.availability)
+              .with("list_size", pledge_list_.size(now())));
+  }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {
-    algo_h_.claim_round_reward();
+    if (algo_h_.claim_round_reward()) trace_interval("reward");
   }
 }
 
@@ -108,6 +172,7 @@ void RealtorProtocol::on_migration_result(NodeId target, double fraction,
     if (config_.reward_policy == HelpRewardPolicy::kOnMigrationSuccess) {
       // Fig. 2 "a node is found for migration": the list delivered.
       algo_h_.note_success();
+      trace_interval("reward");
     }
   } else {
     pledge_list_.remove(target);
@@ -118,6 +183,14 @@ void RealtorProtocol::on_self_killed() {
   pledge_list_.clear();
   membership_.clear();
   help_timer_.cancel();
+}
+
+ProtocolProbe RealtorProtocol::probe(SimTime now) const {
+  ProtocolProbe out;
+  out.table_size = pledge_list_.size(now);
+  out.communities = membership_.count(now);
+  out.help_interval = algo_h_.interval();
+  return out;
 }
 
 }  // namespace realtor::proto

@@ -38,6 +38,7 @@ class RealtorProtocol final : public DiscoveryProtocol {
                            bool success) override;
   void on_self_killed() override;
   void solicit() override;
+  ProtocolProbe probe(SimTime now) const override;
 
   // Introspection for tests and ablations.
   const AlgorithmH& algorithm_h() const { return algo_h_; }
@@ -50,6 +51,9 @@ class RealtorProtocol final : public DiscoveryProtocol {
   void handle_help(const HelpMsg& help);
   void handle_pledge(const PledgeMsg& pledge);
   void send_pledge_to(NodeId organizer, double occupancy);
+  /// Emits a help_interval record attributing the change to `reason`
+  /// ("timeout" / "reward"); no-op when untraced.
+  void trace_interval(const char* reason) const;
 
   AlgorithmH algo_h_;           // organizer side: when to solicit
   AlgorithmP algo_p_;           // member side: when to pledge

@@ -22,6 +22,18 @@ EventId Engine::schedule_in(SimTime delay, Callback cb) {
 
 void Engine::cancel(EventId id) { callbacks_.erase(id); }
 
+void Engine::set_observer(std::uint64_t sample_every, Observer observer) {
+  observe_every_ = sample_every;
+  observer_ = std::move(observer);
+}
+
+void Engine::note_processed() {
+  ++processed_;
+  if (observe_every_ != 0 && processed_ % observe_every_ == 0 && observer_) {
+    observer_(now_, processed_, callbacks_.size());
+  }
+}
+
 bool Engine::pending(EventId id) const { return callbacks_.count(id) > 0; }
 
 bool Engine::pop_next(HeapEntry& out, Callback& cb) {
@@ -43,7 +55,7 @@ void Engine::run() {
   Callback cb;
   while (pop_next(entry, cb)) {
     now_ = entry.time;
-    ++processed_;
+    note_processed();
     cb();
   }
 }
@@ -63,7 +75,7 @@ void Engine::run_until(SimTime t) {
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     now_ = top.time;
-    ++processed_;
+    note_processed();
     cb();
   }
   now_ = t;
@@ -75,7 +87,7 @@ std::size_t Engine::step(std::size_t max_events) {
   Callback cb;
   while (fired < max_events && pop_next(entry, cb)) {
     now_ = entry.time;
-    ++processed_;
+    note_processed();
     ++fired;
     cb();
   }

@@ -54,6 +54,17 @@ class Engine {
   std::size_t pending_count() const { return callbacks_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Sampled observation hook: after every `sample_every`-th processed
+  /// event, `observer` is called with (now, events_processed,
+  /// pending_count) — enough for a tracer to record engine progress
+  /// without touching the hot loop otherwise. `sample_every` = 0 (the
+  /// default) disables the hook; the loop then pays one integer test per
+  /// event. The observer must not mutate the engine.
+  using Observer =
+      std::function<void(SimTime now, std::uint64_t processed,
+                         std::size_t pending)>;
+  void set_observer(std::uint64_t sample_every, Observer observer);
+
  private:
   struct HeapEntry {
     SimTime time;
@@ -69,9 +80,14 @@ class Engine {
   /// Pops the next live event; returns false when the queue is exhausted.
   bool pop_next(HeapEntry& out, Callback& cb);
 
+  /// Bumps the processed counter and fires the sampled observer.
+  void note_processed();
+
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t observe_every_ = 0;
+  Observer observer_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
   // Source of truth for liveness: cancel() erases here, the heap entry is
   // dropped lazily when popped.

@@ -73,6 +73,51 @@ TEST(MessageLedger, MergeAndReset) {
   EXPECT_EQ(a.total_sends(), 0u);
 }
 
+TEST(MessageLedger, SnapshotIsAValueCopy) {
+  MessageLedger ledger;
+  ledger.record(MessageKind::kHelp, 40.0);
+  ledger.record(MessageKind::kPledge, 4.0, 3);
+  ledger.record(MessageKind::kMigration, 4.0);
+  const LedgerSnapshot snap = ledger.snapshot();
+  EXPECT_EQ(snap.sends_of(MessageKind::kPledge), 3u);
+  EXPECT_DOUBLE_EQ(snap.cost_of(MessageKind::kHelp), 40.0);
+  EXPECT_EQ(snap.total_sends, 5u);
+  EXPECT_DOUBLE_EQ(snap.total_cost, 48.0);
+  EXPECT_DOUBLE_EQ(snap.overhead_cost, 44.0);
+  // The snapshot must not track the live ledger.
+  ledger.record(MessageKind::kGossip, 10.0);
+  EXPECT_EQ(snap.sends_of(MessageKind::kGossip), 0u);
+  EXPECT_DOUBLE_EQ(snap.total_cost, 48.0);
+}
+
+// merge() of a populated ledger into a reset() one must reproduce the
+// original exactly, for every MessageKind — the property sweep aggregation
+// relies on.
+TEST(MessageLedger, MergeAfterResetRoundTripsEveryKind) {
+  MessageLedger original;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageKind::kCount);
+       ++i) {
+    const auto kind = static_cast<MessageKind>(i);
+    original.record(kind, 1.5 * static_cast<double>(i + 1),
+                    static_cast<std::uint64_t>(i + 1));
+  }
+  MessageLedger target;
+  target.record(MessageKind::kHelp, 99.0);  // stale state to wipe
+  target.reset();
+  target.merge(original);
+  const LedgerSnapshot a = original.snapshot();
+  const LedgerSnapshot b = target.snapshot();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageKind::kCount);
+       ++i) {
+    const auto kind = static_cast<MessageKind>(i);
+    EXPECT_EQ(b.sends_of(kind), a.sends_of(kind)) << to_string(kind);
+    EXPECT_DOUBLE_EQ(b.cost_of(kind), a.cost_of(kind)) << to_string(kind);
+  }
+  EXPECT_EQ(b.total_sends, a.total_sends);
+  EXPECT_DOUBLE_EQ(b.total_cost, a.total_cost);
+  EXPECT_DOUBLE_EQ(b.overhead_cost, a.overhead_cost);
+}
+
 TEST(MessageLedger, KindNames) {
   EXPECT_STREQ(to_string(MessageKind::kHelp), "HELP");
   EXPECT_STREQ(to_string(MessageKind::kPledge), "PLEDGE");

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+#include "sim/engine.hpp"
+
+namespace realtor::obs {
+namespace {
+
+TEST(TraceEvent, FluentPayloadTypes) {
+  TraceEvent event(2.5, 3, EventKind::kHelpSent);
+  event.with("urgency", 0.75)
+      .with("members", std::uint32_t{7})
+      .with("answered", true)
+      .with("reason", "timeout");
+  ASSERT_EQ(event.field_count, 4u);
+  EXPECT_EQ(event.fields[0].type, TraceField::Type::kDouble);
+  EXPECT_DOUBLE_EQ(event.fields[0].d, 0.75);
+  EXPECT_EQ(event.fields[1].type, TraceField::Type::kUint);
+  EXPECT_EQ(event.fields[1].u, 7u);
+  EXPECT_EQ(event.fields[2].type, TraceField::Type::kBool);
+  EXPECT_TRUE(event.fields[2].b);
+  EXPECT_EQ(event.fields[3].type, TraceField::Type::kString);
+  EXPECT_STREQ(event.fields[3].s, "timeout");
+}
+
+TEST(TraceEvent, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EventKind::kCount);
+       ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    EventKind parsed = EventKind::kCount;
+    ASSERT_TRUE(parse_event_kind(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  EventKind parsed;
+  EXPECT_FALSE(parse_event_kind("no_such_kind", parsed));
+}
+
+// The null-sink contract: an inert tracer reports inactive and emitting
+// through it is a no-op, so instrumented code pays one pointer test.
+TEST(Tracer, NullSinkIsInert) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.active());
+  tracer.emit(TraceEvent(1.0, 0, EventKind::kSolicit));  // must not crash
+  tracer.flush();
+
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  EXPECT_TRUE(tracer.active());
+  tracer.emit(TraceEvent(1.0, 0, EventKind::kSolicit));
+  tracer.set_sink(nullptr);
+  EXPECT_FALSE(tracer.active());
+  tracer.emit(TraceEvent(2.0, 0, EventKind::kSolicit));
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(MemorySink, CountsAndFilters) {
+  MemorySink sink;
+  sink.on_event(TraceEvent(1.0, 0, EventKind::kHelpSent));
+  sink.on_event(TraceEvent(2.0, 1, EventKind::kPledgeSent));
+  sink.on_event(TraceEvent(3.0, 0, EventKind::kHelpSent));
+  EXPECT_EQ(sink.count(EventKind::kHelpSent), 2u);
+  EXPECT_EQ(sink.count(EventKind::kPledgeSent), 1u);
+  EXPECT_EQ(sink.count(EventKind::kGossipRound), 0u);
+  const auto of_zero = sink.events_of(0);
+  ASSERT_EQ(of_zero.size(), 2u);
+  EXPECT_DOUBLE_EQ(of_zero[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(of_zero[1].time, 3.0);
+}
+
+TEST(JsonlFormat, PlainRecord) {
+  TraceEvent event(12.5, 3, EventKind::kHelpSent);
+  event.with("urgency", 1.0).with("members", 7);
+  EXPECT_EQ(format_jsonl(event),
+            R"({"t":12.5,"node":3,"kind":"help_sent","urgency":1,"members":7})");
+}
+
+TEST(JsonlFormat, SystemRecordOmitsNode) {
+  TraceEvent event(0.0, kInvalidNode, EventKind::kEngineStep);
+  event.with("processed", std::uint64_t{1000});
+  EXPECT_EQ(format_jsonl(event),
+            R"({"t":0,"kind":"engine_step","processed":1000})");
+}
+
+TEST(JsonlFormat, EscapesStrings) {
+  TraceEvent event(1.0, 0, EventKind::kSystemSample);
+  event.with("name", "a\"b\\c\n\td\x01");
+  EXPECT_EQ(format_jsonl(event),
+            "{\"t\":1,\"node\":0,\"kind\":\"system_sample\","
+            "\"name\":\"a\\\"b\\\\c\\n\\td\\u0001\"}");
+}
+
+TEST(JsonlFormat, NonFiniteDoublesAreQuoted) {
+  TraceEvent event(1.0, 0, EventKind::kNodeSample);
+  event.with("bad", std::numeric_limits<double>::quiet_NaN())
+      .with("inf", std::numeric_limits<double>::infinity());
+  const std::string line = format_jsonl(event);
+  EXPECT_NE(line.find("\"bad\":\"nan\""), std::string::npos);
+  EXPECT_NE(line.find("\"inf\":\"inf\""), std::string::npos);
+  // And the reader still accepts the line.
+  ParsedEvent parsed;
+  EXPECT_TRUE(parse_jsonl_line(line, parsed));
+}
+
+TEST(JsonlSink, WritesOneLinePerEvent) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  ASSERT_TRUE(sink.ok());
+  sink.on_event(TraceEvent(1.0, 0, EventKind::kHelpSent));
+  sink.on_event(TraceEvent(2.0, 1, EventKind::kPledgeSent));
+  sink.flush();
+  EXPECT_EQ(sink.lines_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(TraceReader, RoundTripsFormattedEvents) {
+  TraceEvent event(3.25, 9, EventKind::kPledgeReceived);
+  event.with("pledger", 4).with("availability", 0.625).with("fresh", true);
+  ParsedEvent parsed;
+  std::string error;
+  ASSERT_TRUE(parse_jsonl_line(format_jsonl(event), parsed, &error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.time, 3.25);
+  EXPECT_EQ(parsed.node, 9u);
+  EXPECT_EQ(parsed.kind, "pledge_received");
+  EXPECT_DOUBLE_EQ(parsed.number("pledger"), 4.0);
+  EXPECT_DOUBLE_EQ(parsed.number("availability"), 0.625);
+  const JsonValue* fresh = parsed.find("fresh");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->type, JsonValue::Type::kBool);
+  EXPECT_TRUE(fresh->boolean);
+  EXPECT_EQ(parsed.find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed.number("absent", -1.0), -1.0);
+}
+
+TEST(TraceReader, RejectsMalformedLinesWithPosition) {
+  ParsedEvent parsed;
+  std::string error;
+  EXPECT_FALSE(parse_jsonl_line("not json", parsed, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(parse_jsonl_line(R"({"node":1,"kind":"solicit"})", parsed,
+                                &error));  // missing "t"
+  EXPECT_FALSE(parse_jsonl_line(R"({"t":1.0,"node":2})", parsed,
+                                &error));  // missing "kind"
+}
+
+TEST(TraceReader, LoadsFileAndReportsBadLineNumber) {
+  const std::string path =
+      ::testing::TempDir() + "realtor_trace_reader_test.jsonl";
+  {
+    std::ofstream out(path);
+    out << format_jsonl(TraceEvent(1.0, 0, EventKind::kHelpSent)) << '\n';
+    out << '\n';  // blank lines are tolerated
+    out << format_jsonl(TraceEvent(2.0, 1, EventKind::kPledgeSent)) << '\n';
+  }
+  std::vector<ParsedEvent> events;
+  std::string error;
+  ASSERT_TRUE(load_trace_file(path, events, &error)) << error;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, "pledge_sent");
+
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{broken\n";
+  }
+  events.clear();
+  EXPECT_FALSE(load_trace_file(path, events, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, FindOrCreateKeepsReferencesStable) {
+  Registry registry;
+  Counter& admitted = registry.counter("tasks.admitted");
+  admitted.add(3);
+  EXPECT_EQ(&registry.counter("tasks.admitted"), &admitted);
+  EXPECT_EQ(registry.counter("tasks.admitted").value(), 3u);
+  registry.gauge("occupancy.mean").set(0.5);
+  registry.histogram("response").observe(2.0);
+  registry.histogram("response").observe(4.0);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, FlattensCountersGaugesThenHistograms) {
+  Registry registry;
+  registry.histogram("h").observe(1.0);
+  registry.histogram("h").observe(3.0);
+  registry.gauge("g").set(7.0);
+  registry.counter("c").add(2);
+  registry.histogram("empty");  // no observations: skipped entirely
+  std::vector<std::pair<std::string, double>> flat;
+  registry.for_each([&](const std::string& name, double value) {
+    flat.emplace_back(name, value);
+  });
+  ASSERT_EQ(flat.size(), 6u);
+  EXPECT_EQ(flat[0].first, "c");
+  EXPECT_DOUBLE_EQ(flat[0].second, 2.0);
+  EXPECT_EQ(flat[1].first, "g");
+  EXPECT_DOUBLE_EQ(flat[1].second, 7.0);
+  EXPECT_EQ(flat[2].first, "h.count");
+  EXPECT_DOUBLE_EQ(flat[2].second, 2.0);
+  EXPECT_EQ(flat[3].first, "h.mean");
+  EXPECT_DOUBLE_EQ(flat[3].second, 2.0);
+  EXPECT_EQ(flat[4].first, "h.min");
+  EXPECT_DOUBLE_EQ(flat[4].second, 1.0);
+  EXPECT_EQ(flat[5].first, "h.max");
+  EXPECT_DOUBLE_EQ(flat[5].second, 3.0);
+}
+
+TEST(Sampler, TicksAtIntervalAndFlattensRegistry) {
+  sim::Engine engine;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  Registry registry;
+  registry.counter("sent").add(5);
+  Sampler sampler(engine, 10.0, tracer, &registry);
+  int probed = 0;
+  sampler.add_probe([&](SimTime) { ++probed; });
+  sampler.start();
+  engine.run_until(35.0);
+  EXPECT_EQ(sampler.ticks(), 3u);
+  EXPECT_EQ(probed, 3);
+  ASSERT_EQ(sink.count(EventKind::kSystemSample), 3u);
+  const TraceEvent& sample = sink.events().front();
+  ASSERT_EQ(sample.field_count, 2u);
+  EXPECT_STREQ(sample.fields[0].s, "sent");
+  EXPECT_DOUBLE_EQ(sample.fields[1].d, 5.0);
+}
+
+TEST(LogSinkSatellite, CapturesAndRestores) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  LogSink previous = set_log_sink([&](LogLevel level,
+                                      const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  REALTOR_INFO("hello " << 42);
+  REALTOR_DEBUG("filtered out");
+  set_log_sink(std::move(previous));
+  set_log_level(before);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "hello 42");
+  REALTOR_ERROR("back on stderr, not the dead capture");  // must not crash
+}
+
+}  // namespace
+}  // namespace realtor::obs

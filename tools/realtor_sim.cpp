@@ -11,16 +11,20 @@
 //   realtor_sim --elusive=10
 //   realtor_sim --trace-out=w.csv          # record the workload
 //   realtor_sim --trace-in=w.csv           # replay it
+//   realtor_sim --trace=run.jsonl          # structured event trace (JSONL;
+//                                          # analyze with realtor_trace)
 //   realtor_sim --sweep=1,2,4,8 --reps=5   # protocol comparison sweep
 //
 // See experiment/cli_config.hpp for the complete flag list.
 #include <iostream>
+#include <optional>
 
 #include "experiment/cli_config.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/report.hpp"
 #include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
+#include "obs/jsonl_sink.hpp"
 #include "proto/factory.hpp"
 #include "trace/workload_csv.hpp"
 
@@ -35,6 +39,26 @@ int run_single(const Flags& flags) {
   const std::string trace_in = flags.get_string("trace-in", "");
   const std::string trace_out = flags.get_string("trace-out", "");
 
+  // Structured event trace (distinct from the workload CSV trace-in/out).
+  const std::string trace_path = flags.get_string("trace", "");
+  std::optional<obs::JsonlSink> event_sink;
+  if (!trace_path.empty()) {
+    // A trace without time-series records is half blind; default the
+    // sampler on unless the user picked an interval explicitly.
+    if (!flags.has("sample-interval")) config.sample_interval = 10.0;
+    event_sink.emplace(trace_path);
+    if (!event_sink->ok()) {
+      std::cerr << "cannot write " << trace_path << '\n';
+      return 1;
+    }
+  }
+  const auto report_trace = [&] {
+    if (event_sink) {
+      std::cout << "trace: " << event_sink->lines_written()
+                << " records -> " << trace_path << '\n';
+    }
+  };
+
   if (!trace_in.empty()) {
     const auto loaded = trace::load_csv_file(trace_in);
     if (!loaded.ok) {
@@ -47,6 +71,7 @@ int run_single(const Flags& flags) {
                                  loaded.records.back().arrival.time);
     }
     experiment::Simulation sim(config);
+    if (event_sink) sim.set_trace_sink(&*event_sink);
     for (const trace::TraceRecord& record : loaded.records) {
       sim.engine().schedule_at(record.arrival.time, [&sim, record] {
         sim.inject(record.arrival, record.bandwidth_share,
@@ -57,6 +82,7 @@ int run_single(const Flags& flags) {
     experiment::print_report(std::cout,
                              std::string("replay of ") + trace_in, sim,
                              flags.get_bool("verbose", false));
+    report_trace();
     return 0;
   }
 
@@ -79,11 +105,13 @@ int run_single(const Flags& flags) {
   }
 
   experiment::Simulation sim(config);
+  if (event_sink) sim.set_trace_sink(&*event_sink);
   sim.run();
   std::string title = std::string(proto::paper_label(config.protocol_kind)) +
                       " @ lambda=" + format_double(config.lambda, 1);
   experiment::print_report(std::cout, title, sim,
                            flags.get_bool("verbose", false));
+  report_trace();
   return 0;
 }
 

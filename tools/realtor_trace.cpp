@@ -1,0 +1,195 @@
+// realtor_trace — offline analyzer for realtor_sim --trace=... JSONL files.
+//
+//   realtor_trace run.jsonl                  # event-kind summary
+//   realtor_trace run.jsonl --node=7         # one node's timeline
+//   realtor_trace run.jsonl --kind=help_sent # filter (summary + timeline)
+//   realtor_trace run.jsonl --intervals      # Algorithm-H interval history
+//   realtor_trace run.jsonl --limit=50       # cap timeline rows
+//
+// Any line that does not parse as a flat JSON trace record is a hard
+// error with its line number — the trace format is part of the tool
+// contract, not best-effort.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+using namespace realtor;
+
+struct KindSummary {
+  std::uint64_t count = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  std::vector<char> nodes_seen;  // indexed by node id
+};
+
+std::string format_fields(const obs::ParsedEvent& event) {
+  std::string out;
+  for (const auto& [key, value] : event.fields) {
+    if (!out.empty()) out += ' ';
+    out += key;
+    out += '=';
+    switch (value.type) {
+      case obs::JsonValue::Type::kNumber: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", value.number);
+        out += buf;
+        break;
+      }
+      case obs::JsonValue::Type::kString:
+        out += value.text;
+        break;
+      case obs::JsonValue::Type::kBool:
+        out += value.boolean ? "true" : "false";
+        break;
+      case obs::JsonValue::Type::kNull:
+        out += "null";
+        break;
+    }
+  }
+  return out;
+}
+
+void print_timeline(const std::vector<obs::ParsedEvent>& events,
+                    bool filter_node, NodeId node, bool filter_kind,
+                    const std::string& kind, std::uint64_t limit) {
+  std::uint64_t shown = 0;
+  std::uint64_t matched = 0;
+  for (const obs::ParsedEvent& event : events) {
+    if (filter_node && event.node != node) continue;
+    if (filter_kind && event.kind != kind) continue;
+    ++matched;
+    if (shown >= limit) continue;
+    ++shown;
+    std::printf("%10.3f  ", event.time);
+    if (event.node == kInvalidNode) {
+      std::printf("%6s", "-");
+    } else {
+      std::printf("%6llu", static_cast<unsigned long long>(event.node));
+    }
+    std::printf("  %-20s %s\n", event.kind.c_str(),
+                format_fields(event).c_str());
+  }
+  if (matched > shown) {
+    std::printf("... %llu more (raise --limit)\n",
+                static_cast<unsigned long long>(matched - shown));
+  }
+}
+
+void print_summary(const std::vector<obs::ParsedEvent>& events) {
+  std::map<std::string, KindSummary> kinds;
+  double span_end = 0.0;
+  std::vector<char> all_nodes;
+  for (const obs::ParsedEvent& event : events) {
+    KindSummary& summary = kinds[event.kind];
+    if (summary.count == 0) summary.first_time = event.time;
+    ++summary.count;
+    summary.last_time = event.time;
+    span_end = std::max(span_end, event.time);
+    if (event.node != kInvalidNode) {
+      if (event.node >= summary.nodes_seen.size()) {
+        summary.nodes_seen.resize(event.node + 1, 0);
+      }
+      summary.nodes_seen[event.node] = 1;
+      if (event.node >= all_nodes.size()) {
+        all_nodes.resize(event.node + 1, 0);
+      }
+      all_nodes[event.node] = 1;
+    }
+  }
+  const auto live = static_cast<unsigned long long>(
+      std::count(all_nodes.begin(), all_nodes.end(), 1));
+  std::printf("%llu records, %llu nodes, t in [0, %.3f]\n\n",
+              static_cast<unsigned long long>(events.size()), live, span_end);
+  std::printf("%-20s %10s %8s %12s %12s\n", "kind", "count", "nodes",
+              "first", "last");
+  for (const auto& [kind, summary] : kinds) {
+    std::printf("%-20s %10llu %8llu %12.3f %12.3f\n", kind.c_str(),
+                static_cast<unsigned long long>(summary.count),
+                static_cast<unsigned long long>(std::count(
+                    summary.nodes_seen.begin(), summary.nodes_seen.end(), 1)),
+                summary.first_time, summary.last_time);
+  }
+}
+
+// Algorithm-H evolution: every help_interval record in order, then the
+// final interval each node settled on.
+void print_intervals(const std::vector<obs::ParsedEvent>& events) {
+  std::map<NodeId, double> final_interval;
+  std::uint64_t updates = 0;
+  for (const obs::ParsedEvent& event : events) {
+    if (event.kind != "help_interval") continue;
+    ++updates;
+    const double interval = event.number("interval", 0.0);
+    const obs::JsonValue* reason = event.find("reason");
+    std::printf("%10.3f  node %-5llu interval %8.3f  (%s)\n", event.time,
+                static_cast<unsigned long long>(event.node), interval,
+                reason != nullptr ? reason->text.c_str() : "?");
+    final_interval[event.node] = interval;
+  }
+  if (updates == 0) {
+    std::printf("no help_interval records "
+                "(push-based protocol, or Algorithm H never adapted)\n");
+    return;
+  }
+  std::printf("\nfinal intervals:\n");
+  for (const auto& [node, interval] : final_interval) {
+    std::printf("  node %-5llu %8.3f\n",
+                static_cast<unsigned long long>(node), interval);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  std::string path = flags.get_string("in", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty() || flags.get_bool("help", false)) {
+    std::cout << "usage: realtor_trace <run.jsonl> "
+                 "[--node=<id>] [--kind=<name>] [--intervals] "
+                 "[--limit=<n>]\n";
+    return path.empty() ? 1 : 0;
+  }
+
+  std::vector<obs::ParsedEvent> events;
+  std::string error;
+  if (!obs::load_trace_file(path, events, &error)) {
+    std::cerr << path << ": " << error << '\n';
+    return 1;
+  }
+
+  if (flags.get_bool("intervals", false)) {
+    print_intervals(events);
+    return 0;
+  }
+
+  const bool filter_node = flags.has("node");
+  const NodeId node = static_cast<NodeId>(flags.get_int("node", 0));
+  const bool filter_kind = flags.has("kind");
+  const std::string kind = flags.get_string("kind", "");
+  if (filter_kind) {
+    obs::EventKind parsed;
+    if (!obs::parse_event_kind(kind, parsed)) {
+      std::cerr << "unknown event kind: " << kind << '\n';
+      return 1;
+    }
+  }
+  if (filter_node || filter_kind) {
+    print_timeline(events, filter_node, node, filter_kind, kind,
+                   static_cast<std::uint64_t>(flags.get_int("limit", 100)));
+    return 0;
+  }
+  print_summary(events);
+  return 0;
+}

@@ -38,11 +38,15 @@ MigrationOutcome AdmissionController::try_migrate(
     ++outcome.attempts;
     ++attempts_;
     if (tracing()) {
+      // The candidate list was assembled from the pledges of the node's
+      // most recent HELP round — attribute the outcome to that episode
+      // (0 for push/gossip schemes, which never solicit).
       tracer_->emit(obs::TraceEvent(engine_->now(), origin,
                                     obs::EventKind::kMigrationAttempt)
                         .with("task", task.id)
                         .with("target", target)
-                        .with("attempt", outcome.attempts));
+                        .with("attempt", outcome.attempts)
+                        .with("episode", protocol.current_episode()));
     }
 
     // Negotiation round-trip between the two admission controls. Charged
@@ -71,7 +75,8 @@ MigrationOutcome AdmissionController::try_migrate(
                                       obs::EventKind::kMigrationSuccess)
                           .with("task", task.id)
                           .with("target", target)
-                          .with("attempts", outcome.attempts));
+                          .with("attempts", outcome.attempts)
+                          .with("episode", protocol.current_episode()));
       }
       return outcome;
     }
@@ -82,7 +87,8 @@ MigrationOutcome AdmissionController::try_migrate(
                                     obs::EventKind::kMigrationAbort)
                         .with("task", task.id)
                         .with("target", target)
-                        .with("target_alive", target_up));
+                        .with("target_alive", target_up)
+                        .with("episode", protocol.current_episode()));
     }
   }
   return outcome;

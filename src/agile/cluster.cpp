@@ -46,6 +46,7 @@ Cluster::Cluster(const ClusterConfig& config)
     host_config.max_tries = config_.max_tries;
     host_config.network_delay = config_.network_delay;
     host_config.speculative_migration = config_.speculative_migration;
+    host_config.episodes = &episodes_;
     hosts_.push_back(std::make_unique<HostRuntime>(
         host_config, clock_, network_, naming_, resolver));
   }

@@ -100,6 +100,9 @@ class Cluster {
 
   HostRuntime& host(NodeId id) { return *hosts_[id]; }
   const NamingService& naming() const { return naming_; }
+  /// Discovery episodes opened across all hosts (atomic; see
+  /// obs::EpisodeSource).
+  const obs::EpisodeSource& episodes() const { return episodes_; }
 
  private:
   ClusterMetrics aggregate(std::uint64_t generated) const;
@@ -108,6 +111,7 @@ class Cluster {
   Clock clock_;
   DatagramNetwork network_;
   NamingService naming_;
+  obs::EpisodeSource episodes_;
   std::vector<std::unique_ptr<HostRuntime>> hosts_;
   bool ran_ = false;
 };

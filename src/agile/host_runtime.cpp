@@ -74,6 +74,7 @@ void HostRuntime::restart() {
       proto::AvailabilityTable(config_.id, config_.protocol.availability_floor);
   speculations_.clear();
   help_deadline_ = kNeverTime;
+  current_episode_ = 0;
   next_advert_ = kNeverTime;  // start() re-arms for pure PUSH
   completions_ = {};
   {
@@ -398,12 +399,16 @@ void HostRuntime::maybe_send_help(SimTime now, double occupancy_with_task) {
   help.urgency = std::min(
       1.0,
       std::max(0.0, occupancy_with_task - config_.protocol.help_threshold));
+  current_episode_ =
+      config_.episodes != nullptr ? config_.episodes->next() : 0;
+  help.episode = current_episode_;
   network_.multicast(config_.id, Payload{proto::Message{help}});
   stats_.helps_sent.fetch_add(1, std::memory_order_relaxed);
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpSent)
               .with("urgency", help.urgency)
-              .with("members", help.member_count));
+              .with("members", help.member_count)
+              .with("episode", help.episode));
   }
   if (gated) {
     const SimTime timeout = algo_h_.note_help_sent(now);
@@ -421,13 +426,14 @@ void HostRuntime::handle_help(NodeId from, const proto::HelpMsg& help) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
-              .with("answered", answered));
+              .with("answered", answered)
+              .with("episode", help.episode));
   }
   if (!answered) return;
   if (config_.discovery == proto::ProtocolKind::kRealtor) {
     membership_.note_refresh_answered(help.origin, now);
   }
-  send_pledge_to(help.origin, occ);
+  send_pledge_to(help.origin, occ, help.episode);
 }
 
 void HostRuntime::handle_pledge(const proto::PledgeMsg& pledge) {
@@ -443,7 +449,8 @@ void HostRuntime::handle_pledge(const proto::PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now)));
+              .with("list_size", pledge_list_.size(now))
+              .with("episode", pledge.episode));
   }
   if (uses_algo_h &&
       config_.protocol.reward_policy ==
@@ -453,19 +460,22 @@ void HostRuntime::handle_pledge(const proto::PledgeMsg& pledge) {
   }
 }
 
-void HostRuntime::send_pledge_to(NodeId organizer, double occ) {
+void HostRuntime::send_pledge_to(NodeId organizer, double occ,
+                                 std::uint64_t episode) {
   const SimTime now = clock_.now();
   proto::PledgeMsg pledge;
   pledge.pledger = config_.id;
   pledge.availability = 1.0 - occ;
   pledge.community_count = membership_.count(now);
   pledge.grant_probability = algo_p_.grant_probability(now);
+  pledge.episode = episode;
   network_.send(config_.id, organizer, Payload{proto::Message{pledge}});
   stats_.pledges_sent.fetch_add(1, std::memory_order_relaxed);
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", organizer)
-              .with("availability", pledge.availability));
+              .with("availability", pledge.availability)
+              .with("episode", episode));
   }
 }
 

@@ -58,6 +58,9 @@ struct HostConfig {
   /// Optional borrowed tracer. Reactor threads emit concurrently, so the
   /// attached sink must be thread-safe (JsonlSink is; MemorySink is not).
   obs::Tracer* tracer = nullptr;
+  /// Optional cluster-shared allocator of discovery-episode ids (atomic;
+  /// safe across reactor threads). nullptr = episodes disabled (all 0).
+  obs::EpisodeSource* episodes = nullptr;
 };
 
 /// Concurrency-safe counters; snapshot with relaxed loads after the run.
@@ -150,7 +153,8 @@ class HostRuntime {
   std::vector<NodeId> candidates(SimTime now);
   bool pull_based() const;
   void maybe_send_help(SimTime now, double occupancy_with_task);
-  void send_pledge_to(NodeId organizer, double occ);
+  /// `episode` echoes the solicited HELP round; 0 for unsolicited pledges.
+  void send_pledge_to(NodeId organizer, double occ, std::uint64_t episode = 0);
   void note_status_change();
   void process_due(SimTime now);
   bool tracing() const {
@@ -182,6 +186,8 @@ class HostRuntime {
   proto::AvailabilityTable advert_table_;  // push-based modes
   RngStream tie_rng_;
   SimTime help_deadline_ = kNeverTime;
+  /// Reactor-confined: id of the last HELP round this host opened.
+  std::uint64_t current_episode_ = 0;
   SimTime next_advert_ = kNeverTime;  // pure PUSH period
   /// Outstanding speculative migrations: component -> (target, capacity
   /// fraction), resolved by SpeculativeResult.

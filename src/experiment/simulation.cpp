@@ -110,6 +110,7 @@ Simulation::Simulation(const ScenarioConfig& config)
     }
     env.seed = config_.seed;
     env.tracer = &tracer_;
+    env.episodes = &episodes_;
     protocols_.push_back(proto::make_protocol(config_.protocol_kind, id,
                                               config_.protocol,
                                               std::move(env)));
@@ -220,7 +221,9 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
                                      obs::EventKind::kTaskAdmitMigrated)
                          .with("task", task.id)
                          .with("target", outcome.target)
-                         .with("attempts", outcome.attempts));
+                         .with("attempts", outcome.attempts)
+                         .with("episode",
+                               protocols_[arrival.node]->current_episode()));
       }
     } else {
       ++metrics_.rejected;
@@ -229,7 +232,9 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
         tracer_.emit(obs::TraceEvent(engine_.now(), arrival.node,
                                      obs::EventKind::kTaskRejected)
                          .with("task", task.id)
-                         .with("attempts", outcome.attempts));
+                         .with("attempts", outcome.attempts)
+                         .with("episode",
+                               protocols_[arrival.node]->current_episode()));
       }
       if (outcome.attempts == 0) {
         // Local group had nothing to offer: solicit the neighbor groups

@@ -76,6 +76,9 @@ class Simulation {
   void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
 
   obs::Tracer& tracer() { return tracer_; }
+  /// Discovery-episode ids handed out so far (shared across all protocol
+  /// instances of this run; see obs::EpisodeSource).
+  const obs::EpisodeSource& episodes() const { return episodes_; }
   /// Gauges refreshed at each sampler tick (sample_interval > 0).
   const obs::Registry& registry() const { return registry_; }
 
@@ -124,6 +127,7 @@ class Simulation {
   RngStream multires_rng_;
   std::vector<TimelineSample> timeline_;
   obs::Tracer tracer_;
+  obs::EpisodeSource episodes_;
   obs::Registry registry_;
   std::optional<obs::Sampler> sampler_;
   bool ran_ = false;

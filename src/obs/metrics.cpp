@@ -1,5 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace realtor::obs {
 namespace {
 
@@ -13,7 +16,50 @@ T& find_or_create(std::map<std::string, std::unique_ptr<T>>& table,
   return *it->second;
 }
 
+/// splitmix64 step — the histogram's private, seed-fixed generator. Using
+/// a self-contained stream (rather than common RngStream) keeps quantile
+/// estimates a pure function of the observation sequence.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+void Histogram::observe(double value) {
+  stats_.add(value);
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  // Algorithm R: element i of the stream survives with probability
+  // capacity / i, keeping the reservoir a uniform sample.
+  const std::uint64_t slot = next_u64(rng_state_) % stats_.count();
+  if (slot < capacity_) {
+    reservoir_[static_cast<std::size_t>(slot)] = value;
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (reservoir_.empty()) return 0.0;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double rank = clamped * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void Histogram::reset() {
+  stats_ = OnlineStats{};
+  reservoir_.clear();
+  rng_state_ = 0x9e3779b97f4a7c15ULL;
+}
 
 Counter& Registry::counter(const std::string& name) {
   return find_or_create(counters_, name);
@@ -42,6 +88,9 @@ void Registry::for_each(
     fn(name + ".mean", stats.mean());
     fn(name + ".min", stats.min());
     fn(name + ".max", stats.max());
+    fn(name + ".p50", histogram->p50());
+    fn(name + ".p90", histogram->p90());
+    fn(name + ".p99", histogram->p99());
   }
 }
 

@@ -7,13 +7,22 @@
 // into system_sample trace records at its period. Metric names live in the
 // registry for its lifetime, so their c_str() pointers are safe to put in
 // TraceField string slots.
+//
+// Counter and Gauge are lock-free: relaxed atomics make concurrent updates
+// from the Agile reactor threads well-defined while compiling to the same
+// single instruction as the old plain stores on x86/ARM — the hot path
+// stays branch-free. Relaxed ordering is enough because metrics are
+// monitoring data: readers (the sampler) tolerate momentary skew between
+// metrics and never use them for synchronization.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 
@@ -21,32 +30,64 @@ namespace realtor::obs {
 
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Streaming distribution (count/mean/min/max via common OnlineStats).
+/// Streaming distribution: count/mean/min/max via common OnlineStats plus
+/// quantiles from a bounded reservoir. While the sample count stays within
+/// the reservoir capacity every observation is retained and quantile() is
+/// exact; past capacity the reservoir degrades gracefully to uniform
+/// subsampling (Vitter's Algorithm R) driven by a deterministic internal
+/// generator, so two runs that observe the same sequence report identical
+/// quantiles. Not thread-safe — histograms are owned by single-threaded
+/// analysis paths (sampler flatten, episode summaries), unlike the atomic
+/// Counter/Gauge hot paths.
 class Histogram {
  public:
-  void observe(double value) { stats_.add(value); }
+  static constexpr std::size_t kDefaultReservoir = 4096;
+
+  explicit Histogram(std::size_t reservoir_capacity = kDefaultReservoir)
+      : capacity_(reservoir_capacity == 0 ? 1 : reservoir_capacity) {}
+
+  void observe(double value);
   const OnlineStats& stats() const { return stats_; }
-  void reset() { stats_ = OnlineStats{}; }
+
+  /// Quantile in [0, 1] by linear interpolation over the reservoir
+  /// (exact while count() <= reservoir capacity). 0.0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+  std::size_t reservoir_size() const { return reservoir_.size(); }
+  /// True while quantile() reflects every observation.
+  bool exact() const { return stats_.count() <= capacity_; }
+
+  void reset();
 
  private:
   OnlineStats stats_;
+  std::size_t capacity_;
+  std::vector<double> reservoir_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 class Registry {
@@ -64,7 +105,8 @@ class Registry {
   /// Visits every metric as flat (name, value) pairs — counters, then
   /// gauges, then histograms, each group sorted by name. Counters and
   /// gauges yield one pair; histograms yield name.count / name.mean /
-  /// name.min / name.max (skipped when empty).
+  /// name.min / name.max / name.p50 / name.p90 / name.p99 (skipped when
+  /// empty).
   void for_each(
       const std::function<void(const std::string& name, double value)>& fn)
       const;

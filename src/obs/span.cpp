@@ -1,0 +1,165 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace realtor::obs {
+namespace {
+
+bool is_peer_key(std::string_view key) {
+  return key == "origin" || key == "organizer" || key == "pledger" ||
+         key == "target";
+}
+
+void apply_field(SpanEvent& out, std::string_view key, double number,
+                 bool boolean, bool is_bool) {
+  if (key == "episode") {
+    out.episode = static_cast<std::uint64_t>(number);
+  } else if (is_peer_key(key)) {
+    out.peer = static_cast<NodeId>(number);
+  } else if (key == "availability") {
+    out.availability = number;
+  } else if (key == "interval") {
+    out.interval = number;
+  } else if (key == "urgency") {
+    out.urgency = number;
+  } else if (key == "answered" && is_bool) {
+    out.answered = boolean;
+  }
+}
+
+}  // namespace
+
+SpanEvent normalize(const TraceEvent& event) {
+  SpanEvent out;
+  out.time = event.time;
+  out.node = event.node;
+  out.kind = event.kind;
+  for (std::uint32_t i = 0; i < event.field_count; ++i) {
+    const TraceField& field = event.fields[i];
+    double number = 0.0;
+    switch (field.type) {
+      case TraceField::Type::kUint:
+        number = static_cast<double>(field.u);
+        break;
+      case TraceField::Type::kDouble:
+        number = field.d;
+        break;
+      default:
+        break;
+    }
+    apply_field(out, field.key, number, field.b,
+                field.type == TraceField::Type::kBool);
+  }
+  return out;
+}
+
+bool normalize(const ParsedEvent& event, SpanEvent& out) {
+  if (!parse_event_kind(event.kind, out.kind)) return false;
+  out.time = event.time;
+  out.node = event.node;
+  for (const auto& [key, value] : event.fields) {
+    apply_field(out, key, value.number, value.boolean,
+                value.type == JsonValue::Type::kBool);
+  }
+  return true;
+}
+
+std::vector<SpanEvent> normalize_events(
+    const std::vector<TraceEvent>& events) {
+  std::vector<SpanEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    out.push_back(normalize(event));
+  }
+  return out;
+}
+
+std::vector<SpanEvent> normalize_events(
+    const std::vector<ParsedEvent>& events) {
+  std::vector<SpanEvent> out;
+  out.reserve(events.size());
+  SpanEvent span;
+  for (const ParsedEvent& event : events) {
+    span = SpanEvent{};
+    if (normalize(event, span)) out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<Episode> build_episodes(const std::vector<SpanEvent>& events) {
+  std::map<std::uint64_t, Episode> by_id;
+  for (const SpanEvent& event : events) {
+    if (event.episode == 0) continue;
+    Episode& episode = by_id[event.episode];
+    episode.id = event.episode;
+    switch (event.kind) {
+      case EventKind::kHelpSent:
+        // First help_sent wins: an id is allocated exactly once, so a
+        // second sighting can only be a malformed trace — keep the first.
+        if (!episode.started) {
+          episode.started = true;
+          episode.origin = event.node;
+          episode.start_time = event.time;
+          episode.urgency = event.urgency;
+        }
+        break;
+      case EventKind::kHelpReceived:
+        ++episode.helps_received;
+        break;
+      case EventKind::kPledgeSent:
+        ++episode.pledges_sent;
+        break;
+      case EventKind::kPledgeReceived:
+        ++episode.pledges_received;
+        if (episode.first_pledge_time < 0.0) {
+          episode.first_pledge_time = event.time;
+        }
+        break;
+      case EventKind::kMigrationAttempt:
+        ++episode.migration_attempts;
+        break;
+      case EventKind::kMigrationAbort:
+        ++episode.migration_aborts;
+        break;
+      case EventKind::kMigrationSuccess:
+        ++episode.migrations;
+        if (episode.first_migration_time < 0.0) {
+          episode.first_migration_time = event.time;
+          episode.first_migration_target = event.peer;
+        }
+        break;
+      case EventKind::kTaskRejected:
+        ++episode.rejections;
+        break;
+      default:
+        break;  // task_admit_migrated duplicates migration_success
+    }
+  }
+  std::vector<Episode> out;
+  out.reserve(by_id.size());
+  for (auto& [id, episode] : by_id) {
+    out.push_back(episode);
+  }
+  return out;
+}
+
+EpisodeSummary summarize_episodes(const std::vector<Episode>& episodes) {
+  EpisodeSummary summary;
+  for (const Episode& episode : episodes) {
+    ++summary.episodes;
+    if (!episode.started) continue;  // latencies need the opening HELP
+    if (episode.has_pledge()) {
+      ++summary.with_pledge;
+      summary.time_to_first_pledge.observe(episode.time_to_first_pledge());
+    }
+    if (episode.has_migration()) {
+      ++summary.with_migration;
+      summary.time_to_migration.observe(episode.time_to_migration());
+    }
+  }
+  return summary;
+}
+
+}  // namespace realtor::obs

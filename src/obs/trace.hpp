@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 #include <type_traits>
@@ -23,6 +24,29 @@
 #include "common/types.hpp"
 
 namespace realtor::obs {
+
+/// Allocator of causal discovery-episode ids. An episode is one complete
+/// arc of the paper's survivability argument: a threshold-exceeded trigger
+/// opens it with a HELP flood, the solicited PLEDGEs echo its id back, and
+/// the admission decision / migration outcome close it. Ids start at 1 so
+/// 0 can mean "outside any episode" (unsolicited status pledges, push
+/// adverts). The counter is atomic (relaxed) so the threaded Agile runtime
+/// can share one source across reactor threads; allocation never feeds
+/// back into protocol decisions, so traced and untraced runs stay
+/// identical.
+class EpisodeSource {
+ public:
+  std::uint64_t next() {
+    return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Episodes allocated so far (the last id handed out).
+  std::uint64_t issued() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+};
 
 /// Everything the instrumented layers can report. Grouped: protocol
 /// events, task/node lifecycle events, engine/sampler records.

@@ -42,6 +42,7 @@ void AdaptivePullProtocol::send_help(double urgency) {
   help.origin = self_;
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
+  help.episode = open_episode();
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
   help_timer_.arm(timeout, [this] {
@@ -52,7 +53,8 @@ void AdaptivePullProtocol::send_help(double urgency) {
     trace(trace_event(obs::EventKind::kHelpSent)
               .with("urgency", urgency)
               .with("interval", algo_h_.interval())
-              .with("members", help.member_count));
+              .with("members", help.member_count)
+              .with("episode", help.episode));
   }
 }
 
@@ -72,7 +74,8 @@ void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
-              .with("answered", answered));
+              .with("answered", answered)
+              .with("episode", help.episode));
   }
   if (!answered) return;
   PledgeMsg pledge;
@@ -81,12 +84,14 @@ void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
   pledge.community_count = 0;  // adaptive PULL members keep no membership
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
+  pledge.episode = help.episode;
   env_.transport->unicast(self_, help.origin, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", help.origin)
               .with("availability", pledge.availability)
-              .with("grant_probability", pledge.grant_probability));
+              .with("grant_probability", pledge.grant_probability)
+              .with("episode", pledge.episode));
   }
 }
 
@@ -102,7 +107,8 @@ void AdaptivePullProtocol::handle_pledge(const PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now())));
+              .with("list_size", pledge_list_.size(now()))
+              .with("episode", pledge.episode));
   }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {

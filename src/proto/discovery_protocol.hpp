@@ -39,6 +39,10 @@ struct ProtocolEnv {
   /// default). Borrowed from the harness; emission never changes protocol
   /// decisions, so traced and untraced runs of one seed are identical.
   obs::Tracer* tracer = nullptr;
+  /// Optional shared allocator of discovery-episode ids (nullptr =
+  /// episode threading disabled; all episodes read 0). Like the tracer it
+  /// never influences decisions — allocation is one counter increment.
+  obs::EpisodeSource* episodes = nullptr;
 };
 
 /// Requirements of the task a candidate must be able to take (all
@@ -123,6 +127,13 @@ class DiscoveryProtocol {
   /// Soft-state snapshot for the sampler; never mutates (no expiry sweep).
   virtual ProtocolProbe probe(SimTime /*now*/) const { return {}; }
 
+  /// Id of this node's most recent discovery episode (the last HELP round
+  /// it opened), or 0 if it never solicited / episode threading is off.
+  /// The admission layer stamps migration-decision events with it: the
+  /// candidate list consulted for a migration was gathered by that round's
+  /// pledges, so the outcome is causally attributed to it.
+  std::uint64_t current_episode() const { return current_episode_; }
+
  protected:
   SimTime now() const { return env_.engine->now(); }
   double local_occupancy() const { return env_.local_occupancy(); }
@@ -142,6 +153,14 @@ class DiscoveryProtocol {
     return env_.local_security ? env_.local_security() : 255;
   }
 
+  /// Opens a new discovery episode: allocates the next id from the shared
+  /// source and remembers it as this node's current episode. Pull schemes
+  /// call this once per HELP flood, before stamping the message.
+  std::uint64_t open_episode() {
+    current_episode_ = env_.episodes != nullptr ? env_.episodes->next() : 0;
+    return current_episode_;
+  }
+
   /// Alive overlay nodes other than self — the neighbor scope (§5: the
   /// topology "represents the limited scope of neighbors ... for all five
   /// resource discovery schemes").
@@ -151,6 +170,7 @@ class DiscoveryProtocol {
   ProtocolConfig config_;
   ProtocolEnv env_;
   RngStream rng_;  // tie-breaks only; never feeds workload randomness
+  std::uint64_t current_episode_ = 0;
 };
 
 inline DiscoveryProtocol::DiscoveryProtocol(NodeId self,

@@ -19,6 +19,10 @@ struct HelpMsg {
   /// Degree of demand: how far occupancy is above the HELP threshold,
   /// in [0, 1].
   double urgency = 0.0;
+  /// Causal discovery-episode id (obs::EpisodeSource); solicited PLEDGEs
+  /// echo it so offline analysis can reconstruct the trigger→HELP→PLEDGE→
+  /// migration chain. 0 = untracked (harness without an episode source).
+  std::uint64_t episode = 0;
 };
 
 /// "PLEDGE: Hostid, Type(pledge), Resource availability (degree), number of
@@ -36,6 +40,10 @@ struct PledgeMsg {
   /// Security level the pledger runs at (multi-resource extension; 255 =
   /// unrestricted, the CPU-only default).
   std::uint8_t security_level = 255;
+  /// Episode of the HELP this pledge answers; 0 for unsolicited status
+  /// pledges (Fig. 3 second rule — threshold-crossing updates belong to no
+  /// solicitation round).
+  std::uint64_t episode = 0;
 };
 
 /// Availability advertisement used by the PUSH baselines (flooded).

@@ -34,12 +34,14 @@ void PurePullProtocol::send_help(double urgency) {
   help.origin = self_;
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
+  help.episode = open_episode();
   env_.transport->flood(self_, Message{help});
   ++helps_sent_;
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpSent)
               .with("urgency", urgency)
-              .with("members", help.member_count));
+              .with("members", help.member_count)
+              .with("episode", help.episode));
   }
 }
 
@@ -59,7 +61,8 @@ void PurePullProtocol::handle_help(const HelpMsg& help) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
-              .with("answered", answered));
+              .with("answered", answered)
+              .with("episode", help.episode));
   }
   if (!answered) return;
   PledgeMsg pledge;
@@ -68,12 +71,14 @@ void PurePullProtocol::handle_help(const HelpMsg& help) {
   pledge.community_count = 0;  // pure PULL keeps no membership state
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
+  pledge.episode = help.episode;
   env_.transport->unicast(self_, help.origin, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", help.origin)
               .with("availability", pledge.availability)
-              .with("grant_probability", pledge.grant_probability));
+              .with("grant_probability", pledge.grant_probability)
+              .with("episode", pledge.episode));
   }
 }
 
@@ -85,7 +90,8 @@ void PurePullProtocol::handle_pledge(const PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now())));
+              .with("list_size", pledge_list_.size(now()))
+              .with("episode", pledge.episode));
   }
 }
 

@@ -73,6 +73,7 @@ void RealtorProtocol::send_help(double urgency) {
   help.origin = self_;
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
+  help.episode = open_episode();
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
   help_timer_.arm(timeout, [this] {
@@ -83,7 +84,8 @@ void RealtorProtocol::send_help(double urgency) {
     trace(trace_event(obs::EventKind::kHelpSent)
               .with("urgency", urgency)
               .with("interval", algo_h_.interval())
-              .with("members", help.member_count));
+              .with("members", help.member_count)
+              .with("episode", help.episode));
   }
 }
 
@@ -108,7 +110,8 @@ void RealtorProtocol::handle_help(const HelpMsg& help) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
-              .with("answered", answered));
+              .with("answered", answered)
+              .with("episode", help.episode));
   }
   if (!answered) return;
   const bool was_member = membership_.is_member_of(help.origin, now());
@@ -119,22 +122,25 @@ void RealtorProtocol::handle_help(const HelpMsg& help) {
               .with("organizer", help.origin)
               .with("communities", membership_.count(now())));
   }
-  send_pledge_to(help.origin, occupancy);
+  send_pledge_to(help.origin, occupancy, help.episode);
 }
 
-void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy) {
+void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy,
+                                     std::uint64_t episode) {
   PledgeMsg pledge;
   pledge.pledger = self_;
   pledge.availability = 1.0 - occupancy;
   pledge.community_count = membership_.count(now());
   pledge.grant_probability = algo_p_.grant_probability(now());
   pledge.security_level = local_security();
+  pledge.episode = episode;
   env_.transport->unicast(self_, organizer, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", organizer)
               .with("availability", pledge.availability)
-              .with("grant_probability", pledge.grant_probability));
+              .with("grant_probability", pledge.grant_probability)
+              .with("episode", episode));
   }
 }
 
@@ -150,7 +156,8 @@ void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now())));
+              .with("list_size", pledge_list_.size(now()))
+              .with("episode", pledge.episode));
   }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {

@@ -50,7 +50,10 @@ class RealtorProtocol final : public DiscoveryProtocol {
   void send_help(double urgency);
   void handle_help(const HelpMsg& help);
   void handle_pledge(const PledgeMsg& pledge);
-  void send_pledge_to(NodeId organizer, double occupancy);
+  /// `episode` is the id of the HELP round this pledge answers; 0 for the
+  /// unsolicited threshold-crossing updates of Fig. 3's second rule.
+  void send_pledge_to(NodeId organizer, double occupancy,
+                      std::uint64_t episode = 0);
   /// Emits a help_interval record attributing the change to `reason`
   /// ("timeout" / "reward"); no-op when untraced.
   void trace_interval(const char* reason) const;

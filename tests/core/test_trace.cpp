@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/log.hpp"
 #include "obs/jsonl_sink.hpp"
@@ -201,7 +203,7 @@ TEST(MetricsRegistry, FlattensCountersGaugesThenHistograms) {
   registry.for_each([&](const std::string& name, double value) {
     flat.emplace_back(name, value);
   });
-  ASSERT_EQ(flat.size(), 6u);
+  ASSERT_EQ(flat.size(), 9u);
   EXPECT_EQ(flat[0].first, "c");
   EXPECT_DOUBLE_EQ(flat[0].second, 2.0);
   EXPECT_EQ(flat[1].first, "g");
@@ -214,6 +216,85 @@ TEST(MetricsRegistry, FlattensCountersGaugesThenHistograms) {
   EXPECT_DOUBLE_EQ(flat[4].second, 1.0);
   EXPECT_EQ(flat[5].first, "h.max");
   EXPECT_DOUBLE_EQ(flat[5].second, 3.0);
+  EXPECT_EQ(flat[6].first, "h.p50");
+  EXPECT_DOUBLE_EQ(flat[6].second, 2.0);  // midpoint of {1, 3}
+  EXPECT_EQ(flat[7].first, "h.p90");
+  EXPECT_EQ(flat[8].first, "h.p99");
+  EXPECT_DOUBLE_EQ(flat[8].second, 2.98);  // interpolated toward max
+}
+
+TEST(HistogramQuantiles, ExactWithinReservoir) {
+  Histogram histogram;
+  // 1..100 shuffled deterministically: quantiles must come out exact.
+  for (int i = 0; i < 100; ++i) {
+    histogram.observe(static_cast<double>((i * 37) % 100 + 1));
+  }
+  EXPECT_TRUE(histogram.exact());
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.p50(), 50.5);
+  EXPECT_NEAR(histogram.p90(), 90.1, 1e-9);
+  EXPECT_NEAR(histogram.p99(), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(histogram.quantile(-0.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(histogram.quantile(2.0), 100.0);
+}
+
+TEST(HistogramQuantiles, EmptyAndSingle) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.p50(), 0.0);
+  histogram.observe(4.25);
+  EXPECT_DOUBLE_EQ(histogram.p50(), 4.25);
+  EXPECT_DOUBLE_EQ(histogram.p99(), 4.25);
+  histogram.reset();
+  EXPECT_DOUBLE_EQ(histogram.p50(), 0.0);
+  EXPECT_EQ(histogram.stats().count(), 0u);
+}
+
+TEST(HistogramQuantiles, ReservoirSubsamplingIsDeterministic) {
+  Histogram a(64);
+  Histogram b(64);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>((i * 131) % 1000);
+    a.observe(v);
+    b.observe(v);
+  }
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.reservoir_size(), 64u);
+  // Same observation sequence -> identical reservoir -> identical
+  // quantiles (the subsampling RNG is internal and seed-fixed).
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+  // And the estimate stays inside the observed range.
+  EXPECT_GE(a.p50(), a.stats().min());
+  EXPECT_LE(a.p50(), a.stats().max());
+}
+
+// Satellite: Counter/Gauge must tolerate concurrent updates from the
+// Agile reactor threads without torn or lost counts.
+TEST(MetricsAtomicity, ConcurrentCounterAddsAreLossless) {
+  Counter counter;
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &gauge, t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        counter.add();
+        gauge.set(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  // The gauge holds whichever thread wrote last — any of them, untorn.
+  const double last = gauge.value();
+  EXPECT_GE(last, 0.0);
+  EXPECT_LT(last, static_cast<double>(kThreads));
 }
 
 TEST(Sampler, TicksAtIntervalAndFlattensRegistry) {

@@ -3,11 +3,16 @@
 // order, and attaching a sink must not perturb the run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "experiment/simulation.hpp"
+#include "obs/jsonl_sink.hpp"
 #include "obs/trace.hpp"
+#include "proto/factory.hpp"
 
 namespace realtor::experiment {
 namespace {
@@ -170,6 +175,81 @@ TEST(TraceEvents, TracingDoesNotPerturbTheRun) {
   EXPECT_EQ(a.ledger.total_sends(), b.ledger.total_sends());
   EXPECT_DOUBLE_EQ(a.ledger.total_cost(), b.ledger.total_cost());
   EXPECT_GT(sink.events().size(), 0u);
+}
+
+// Episode threading rides the existing message flow: HELP records carry a
+// fresh nonzero episode id and solicited PLEDGE records echo one.
+TEST(TraceEvents, EpisodeIdsThreadThroughTheVocabulary) {
+  ScenarioConfig config = traced_scenario();
+  Simulation sim(config);
+  MemorySink sink;
+  sim.set_trace_sink(&sink);
+  sim.run();
+
+  std::uint64_t max_episode = 0;
+  for (const TraceEvent& event : sink.events()) {
+    if (event.kind == EventKind::kHelpSent) {
+      const auto episode = uint_field(event, "episode");
+      ASSERT_TRUE(episode.has_value());
+      EXPECT_GT(*episode, 0u);
+      max_episode = std::max(max_episode, *episode);
+    }
+  }
+  EXPECT_GT(max_episode, 0u);
+  // The shared source issued exactly the ids the HELPs consumed.
+  EXPECT_EQ(sim.episodes().issued(), max_episode);
+}
+
+// Determinism, bit-for-bit: two traced runs of the same seed serialize to
+// the identical JSONL byte stream — episode allocation is part of the
+// deterministic event order, not a side channel.
+TEST(TraceEvents, SameSeedYieldsIdenticalTrace) {
+  const ScenarioConfig config = traced_scenario();
+  std::vector<std::string> lines[2];
+  for (std::vector<std::string>& run : lines) {
+    Simulation sim(config);
+    MemorySink sink;
+    sim.set_trace_sink(&sink);
+    sim.run();
+    run.reserve(sink.events().size());
+    for (const TraceEvent& event : sink.events()) {
+      run.push_back(obs::format_jsonl(event));
+    }
+  }
+  ASSERT_EQ(lines[0].size(), lines[1].size());
+  for (std::size_t i = 0; i < lines[0].size(); ++i) {
+    ASSERT_EQ(lines[0][i], lines[1][i]) << "line " << i;
+  }
+}
+
+// Golden Fig. 6 message-economy totals (seed 7, 5x5 mesh, no attacks),
+// captured before episode threading landed: threading ids through
+// HELP/PLEDGE must not add, drop or reorder a single message.
+TEST(TraceEvents, EpisodeThreadingPreservesMessageEconomy) {
+  struct Golden {
+    proto::ProtocolKind kind;
+    std::uint64_t sends;
+    double cost;
+  };
+  const Golden golden[] = {
+      {proto::ProtocolKind::kRealtor, 3212u, 22408.0},
+      {proto::ProtocolKind::kPurePull, 5617u, 48468.0},
+      {proto::ProtocolKind::kPurePush, 3315u, 122092.0},
+      {proto::ProtocolKind::kAdaptivePush, 153u, 3764.0},
+      {proto::ProtocolKind::kAdaptivePull, 2380u, 18096.0},
+      {proto::ProtocolKind::kGossip, 12252u, 49640.0},
+  };
+  for (const Golden& expected : golden) {
+    ScenarioConfig config = traced_scenario();
+    config.attacks.clear();
+    config.protocol_kind = expected.kind;
+    Simulation sim(config);
+    sim.run();
+    EXPECT_EQ(sim.metrics().ledger.total_sends(), expected.sends)
+        << proto::to_string(expected.kind);
+    EXPECT_DOUBLE_EQ(sim.metrics().ledger.total_cost(), expected.cost)
+        << proto::to_string(expected.kind);
+  }
 }
 
 TEST(TraceEvents, SamplerHonorsConfiguredInterval) {

@@ -4,7 +4,18 @@
 //   realtor_trace run.jsonl --node=7         # one node's timeline
 //   realtor_trace run.jsonl --kind=help_sent # filter (summary + timeline)
 //   realtor_trace run.jsonl --intervals      # Algorithm-H interval history
-//   realtor_trace run.jsonl --limit=50       # cap timeline rows
+//   realtor_trace run.jsonl --episodes       # discovery-episode spans +
+//                                            # latency percentiles
+//   realtor_trace run.jsonl --check          # protocol invariant checker
+//                                            # (nonzero exit on violation)
+//   realtor_trace run.jsonl --format=csv     # machine-readable event/
+//                                            # episode tables
+//   realtor_trace run.jsonl --limit=50       # cap timeline/episode rows
+//
+// --check replays the paper's algorithmic guarantees over the trace (see
+// obs/invariants.hpp for the catalog); parameters of the traced run can be
+// overridden with --alpha --beta --initial-interval --upper-limit
+// --interval-floor --pledge-threshold --tolerance.
 //
 // Any line that does not parse as a flat JSON trace record is a hard
 // error with its line number — the trace format is part of the tool
@@ -13,10 +24,13 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
+#include "obs/invariants.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
 
@@ -31,31 +45,39 @@ struct KindSummary {
   std::vector<char> nodes_seen;  // indexed by node id
 };
 
+std::string format_value(const obs::JsonValue& value) {
+  switch (value.type) {
+    case obs::JsonValue::Type::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", value.number);
+      return buf;
+    }
+    case obs::JsonValue::Type::kString:
+      return value.text;
+    case obs::JsonValue::Type::kBool:
+      return value.boolean ? "true" : "false";
+    case obs::JsonValue::Type::kNull:
+      return "null";
+  }
+  return "";
+}
+
 std::string format_fields(const obs::ParsedEvent& event) {
   std::string out;
   for (const auto& [key, value] : event.fields) {
     if (!out.empty()) out += ' ';
     out += key;
     out += '=';
-    switch (value.type) {
-      case obs::JsonValue::Type::kNumber: {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%g", value.number);
-        out += buf;
-        break;
-      }
-      case obs::JsonValue::Type::kString:
-        out += value.text;
-        break;
-      case obs::JsonValue::Type::kBool:
-        out += value.boolean ? "true" : "false";
-        break;
-      case obs::JsonValue::Type::kNull:
-        out += "null";
-        break;
-    }
+    out += format_value(value);
   }
   return out;
+}
+
+bool keep(const obs::ParsedEvent& event, bool filter_node, NodeId node,
+          bool filter_kind, const std::string& kind) {
+  if (filter_node && event.node != node) return false;
+  if (filter_kind && event.kind != kind) return false;
+  return true;
 }
 
 void print_timeline(const std::vector<obs::ParsedEvent>& events,
@@ -64,8 +86,7 @@ void print_timeline(const std::vector<obs::ParsedEvent>& events,
   std::uint64_t shown = 0;
   std::uint64_t matched = 0;
   for (const obs::ParsedEvent& event : events) {
-    if (filter_node && event.node != node) continue;
-    if (filter_kind && event.kind != kind) continue;
+    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
     ++matched;
     if (shown >= limit) continue;
     ++shown;
@@ -81,6 +102,40 @@ void print_timeline(const std::vector<obs::ParsedEvent>& events,
   if (matched > shown) {
     std::printf("... %llu more (raise --limit)\n",
                 static_cast<unsigned long long>(matched - shown));
+  }
+}
+
+/// Events as CSV: time,node,kind plus the sorted union of payload keys.
+/// Cells of absent fields stay empty, so every row has the same width.
+void print_events_csv(const std::vector<obs::ParsedEvent>& events,
+                      bool filter_node, NodeId node, bool filter_kind,
+                      const std::string& kind) {
+  std::set<std::string> keys;
+  for (const obs::ParsedEvent& event : events) {
+    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
+    for (const auto& [key, value] : event.fields) {
+      keys.insert(key);
+    }
+  }
+  std::printf("time,node,kind");
+  for (const std::string& key : keys) {
+    std::printf(",%s", key.c_str());
+  }
+  std::printf("\n");
+  for (const obs::ParsedEvent& event : events) {
+    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
+    if (event.node == kInvalidNode) {
+      std::printf("%.6f,,%s", event.time, event.kind.c_str());
+    } else {
+      std::printf("%.6f,%llu,%s", event.time,
+                  static_cast<unsigned long long>(event.node),
+                  event.kind.c_str());
+    }
+    for (const std::string& key : keys) {
+      const obs::JsonValue* value = event.find(key);
+      std::printf(",%s", value != nullptr ? format_value(*value).c_str() : "");
+    }
+    std::printf("\n");
   }
 }
 
@@ -147,6 +202,131 @@ void print_intervals(const std::vector<obs::ParsedEvent>& events) {
   }
 }
 
+void print_latency_row(const char* label, const obs::Histogram& histogram) {
+  const auto& stats = histogram.stats();
+  if (stats.count() == 0) {
+    std::printf("  %-22s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-22s n=%-6llu mean=%-8.3f p50=%-8.3f p90=%-8.3f "
+              "p99=%-8.3f max=%.3f\n",
+              label, static_cast<unsigned long long>(stats.count()),
+              stats.mean(), histogram.p50(), histogram.p90(),
+              histogram.p99(), stats.max());
+}
+
+void print_episodes(const std::vector<obs::Episode>& episodes,
+                    std::uint64_t limit) {
+  const obs::EpisodeSummary summary = obs::summarize_episodes(episodes);
+  std::printf("%llu episodes, %llu with a pledge, %llu with a migration\n\n",
+              static_cast<unsigned long long>(summary.episodes),
+              static_cast<unsigned long long>(summary.with_pledge),
+              static_cast<unsigned long long>(summary.with_migration));
+  print_latency_row("time_to_first_pledge", summary.time_to_first_pledge);
+  print_latency_row("time_to_migration", summary.time_to_migration);
+  std::printf("\n%-10s %6s %10s %8s %8s %8s %8s %10s %10s\n", "episode",
+              "origin", "start", "urgency", "pledges", "attempts",
+              "migrated", "t_pledge", "t_migrate");
+  std::uint64_t shown = 0;
+  for (const obs::Episode& episode : episodes) {
+    if (shown >= limit) break;
+    ++shown;
+    std::printf("%-10llu %6lld %10.3f %8.3f %8llu %8llu %8llu ",
+                static_cast<unsigned long long>(episode.id),
+                episode.origin == kInvalidNode
+                    ? -1LL
+                    : static_cast<long long>(episode.origin),
+                episode.start_time, episode.urgency,
+                static_cast<unsigned long long>(episode.pledges_received),
+                static_cast<unsigned long long>(episode.migration_attempts),
+                static_cast<unsigned long long>(episode.migrations));
+    if (episode.started && episode.has_pledge()) {
+      std::printf("%10.3f ", episode.time_to_first_pledge());
+    } else {
+      std::printf("%10s ", "-");
+    }
+    if (episode.started && episode.has_migration()) {
+      std::printf("%10.3f\n", episode.time_to_migration());
+    } else {
+      std::printf("%10s\n", "-");
+    }
+  }
+  if (episodes.size() > shown) {
+    std::printf("... %llu more (raise --limit)\n",
+                static_cast<unsigned long long>(episodes.size() - shown));
+  }
+}
+
+void print_episodes_csv(const std::vector<obs::Episode>& episodes) {
+  std::printf("episode,origin,start,urgency,helps_received,pledges_sent,"
+              "pledges_received,attempts,aborts,migrations,rejections,"
+              "time_to_first_pledge,time_to_migration\n");
+  for (const obs::Episode& episode : episodes) {
+    std::printf("%llu,", static_cast<unsigned long long>(episode.id));
+    if (episode.origin == kInvalidNode) {
+      std::printf(",");
+    } else {
+      std::printf("%llu,", static_cast<unsigned long long>(episode.origin));
+    }
+    std::printf("%.6f,%g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
+                episode.start_time, episode.urgency,
+                static_cast<unsigned long long>(episode.helps_received),
+                static_cast<unsigned long long>(episode.pledges_sent),
+                static_cast<unsigned long long>(episode.pledges_received),
+                static_cast<unsigned long long>(episode.migration_attempts),
+                static_cast<unsigned long long>(episode.migration_aborts),
+                static_cast<unsigned long long>(episode.migrations),
+                static_cast<unsigned long long>(episode.rejections));
+    if (episode.started && episode.has_pledge()) {
+      std::printf("%.6f,", episode.time_to_first_pledge());
+    } else {
+      std::printf(",");
+    }
+    if (episode.started && episode.has_migration()) {
+      std::printf("%.6f\n", episode.time_to_migration());
+    } else {
+      std::printf("\n");
+    }
+  }
+}
+
+int run_check(const std::vector<obs::ParsedEvent>& events,
+              const Flags& flags) {
+  obs::InvariantConfig config;
+  config.initial_help_interval =
+      flags.get_double("initial-interval", config.initial_help_interval);
+  config.help_upper_limit =
+      flags.get_double("upper-limit", config.help_upper_limit);
+  config.help_interval_floor =
+      flags.get_double("interval-floor", config.help_interval_floor);
+  config.alpha = flags.get_double("alpha", config.alpha);
+  config.beta = flags.get_double("beta", config.beta);
+  config.pledge_threshold =
+      flags.get_double("pledge-threshold", config.pledge_threshold);
+  config.tolerance = flags.get_double("tolerance", config.tolerance);
+
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+  const std::vector<obs::Violation> violations =
+      obs::check_invariants(spans, config);
+  if (violations.empty()) {
+    const std::vector<obs::Episode> episodes = obs::build_episodes(spans);
+    std::printf("OK: %llu records, %llu episodes, all invariants hold\n",
+                static_cast<unsigned long long>(events.size()),
+                static_cast<unsigned long long>(episodes.size()));
+    return 0;
+  }
+  for (const obs::Violation& violation : violations) {
+    std::printf("VIOLATION %-26s t=%.3f node=%llu  %s\n",
+                violation.invariant, violation.time,
+                static_cast<unsigned long long>(violation.node),
+                violation.detail.c_str());
+  }
+  std::printf("%llu violation(s) in %llu records\n",
+              static_cast<unsigned long long>(violations.size()),
+              static_cast<unsigned long long>(events.size()));
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,7 +338,10 @@ int main(int argc, char** argv) {
   if (path.empty() || flags.get_bool("help", false)) {
     std::cout << "usage: realtor_trace <run.jsonl> "
                  "[--node=<id>] [--kind=<name>] [--intervals] "
-                 "[--limit=<n>]\n";
+                 "[--episodes] [--check] [--format=csv] [--limit=<n>]\n"
+                 "--check options: --initial-interval --upper-limit "
+                 "--interval-floor --alpha --beta --pledge-threshold "
+                 "--tolerance\n";
     return path.empty() ? 1 : 0;
   }
 
@@ -167,6 +350,29 @@ int main(int argc, char** argv) {
   if (!obs::load_trace_file(path, events, &error)) {
     std::cerr << path << ": " << error << '\n';
     return 1;
+  }
+
+  const std::string format = flags.get_string("format", "text");
+  if (format != "text" && format != "csv") {
+    std::cerr << "unknown --format: " << format << " (text|csv)\n";
+    return 1;
+  }
+  const bool csv = format == "csv";
+
+  if (flags.get_bool("check", false)) {
+    return run_check(events, flags);
+  }
+
+  if (flags.get_bool("episodes", false)) {
+    const std::vector<obs::Episode> episodes =
+        obs::build_episodes(obs::normalize_events(events));
+    if (csv) {
+      print_episodes_csv(episodes);
+    } else {
+      print_episodes(episodes,
+                     static_cast<std::uint64_t>(flags.get_int("limit", 50)));
+    }
+    return 0;
   }
 
   if (flags.get_bool("intervals", false)) {
@@ -184,6 +390,10 @@ int main(int argc, char** argv) {
       std::cerr << "unknown event kind: " << kind << '\n';
       return 1;
     }
+  }
+  if (csv) {
+    print_events_csv(events, filter_node, node, filter_kind, kind);
+    return 0;
   }
   if (filter_node || filter_kind) {
     print_timeline(events, filter_node, node, filter_kind, kind,

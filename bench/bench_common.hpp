@@ -5,6 +5,24 @@
 //   --reps=N            replications per cell (default 5)
 //   --duration=T        simulated seconds per run (default 600)
 //   --seed=S            base seed (default 42)
+//   --width=W           mesh width in nodes (default 5)
+//   --height=H          mesh height in nodes (default 5)
+//   --queue=Q           per-node queue capacity, seconds of work (default 100)
+//   --task-size=S       mean task size, seconds (default 5)
+//   --help-threshold=V  Algorithm P solicitation threshold
+//   --pledge-threshold=V  availability-pledge threshold
+//   --alpha=V --beta=V  Algorithm H interval adaptation gains
+//   --upper-limit=V     HELP-interval upper limit / window
+//   --help-timeout=T    HELP retransmission timeout (seconds)
+//   --push-interval=T   PUSH advertisement period (seconds)
+//   --ttl=T             soft-state availability TTL (seconds)
+//   --max-communities=N community membership cap
+//   --reward=migration|pledge  Algorithm H reward policy (default
+//                       migration; pledge rewards the first useful pledge)
+//   --tries=N           migration negotiation attempts (default 1)
+//   --jobs=N            sweep worker threads; 0 (default) = one per
+//                       hardware thread, 1 = serial reference path.
+//                       Results are byte-identical for every value.
 //   --csv=PATH          also write the table as CSV
 //   --ci                print 95% confidence half-widths
 #pragma once
@@ -52,9 +70,11 @@ inline experiment::ScenarioConfig base_config(const Flags& flags) {
 }
 
 inline experiment::SweepOptions sweep_options(const Flags& flags) {
-  return experiment::paper_sweep_options(
+  experiment::SweepOptions options = experiment::paper_sweep_options(
       flags.get_double_list("lambdas", default_lambdas()),
       static_cast<std::uint32_t>(flags.get_int("reps", 5)));
+  options.jobs = static_cast<unsigned>(flags.get_int("jobs", 0));
+  return options;
 }
 
 }  // namespace realtor::benchutil

@@ -46,6 +46,57 @@ void BM_EngineCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancelHeavy);
 
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  // Pure schedule + cancel throughput: every event dies before firing, so
+  // the run() only drains dead heap entries.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<EventId> ids(batch);
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids[i] = engine.schedule_in(static_cast<SimTime>(i % 97), [] {});
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      engine.cancel(ids[i]);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch) * 2);
+}
+BENCHMARK(BM_EngineScheduleCancel)->Arg(4096);
+
+void BM_EngineTimerChurn(benchmark::State& state) {
+  // The protocol hot pattern: Algorithm H arms a HELP timeout and resets
+  // it whenever a PLEDGE arrives, so most timers are cancelled and
+  // re-armed many times before one finally fires.
+  constexpr std::size_t kTimers = 512;
+  constexpr int kRounds = 32;
+  std::vector<EventId> ids(kTimers);
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      ids[i] = engine.schedule_in(10.0 + static_cast<double>(i) * 0.01,
+                                  [] {});
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::size_t i = 0; i < kTimers; ++i) {
+        engine.cancel(ids[i]);
+        ids[i] = engine.schedule_in(
+            10.0 + static_cast<double>(r) * 0.5 +
+                static_cast<double>(i) * 0.01,
+            [] {});
+      }
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTimers * kRounds) * 2);
+}
+BENCHMARK(BM_EngineTimerChurn);
+
 void BM_ShortestPathsMesh(benchmark::State& state) {
   const auto side = static_cast<NodeId>(state.range(0));
   const net::Topology mesh = net::make_mesh(side, side);

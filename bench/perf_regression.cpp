@@ -1,0 +1,223 @@
+// perf_regression — machine-readable substrate benchmarks plus the
+// serial-vs-parallel correctness gate.
+//
+// Two artifacts seed the repo's performance trajectory:
+//
+//   BENCH_kernel.json  engine hot-path throughput: schedule+fire,
+//                      schedule+cancel, and the Algorithm-H timer-churn
+//                      pattern (ops/s each);
+//   BENCH_sweep.json   the full Fig-6 sweep wall clock, serial (--jobs=1)
+//                      versus parallel (--jobs=N), the speedup, and
+//                      whether the two legs produced byte-identical
+//                      figure tables + CSV.
+//
+// Flags (besides everything bench_common.hpp documents):
+//   --kernel-out=PATH   default BENCH_kernel.json
+//   --sweep-out=PATH    default BENCH_sweep.json
+//   --skip-kernel / --skip-sweep
+//   --min-time=S        minimum seconds per kernel measurement (default 0.4)
+//
+// Exit status is nonzero when the parallel sweep output differs from the
+// serial output in any byte — CI runs this as a determinism gate (a
+// correctness gate, deliberately not a timing gate).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "experiment/figures.hpp"
+#include "experiment/sweep.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace realtor;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct KernelResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_s() const { return seconds > 0.0 ? double(ops) / seconds : 0.0; }
+};
+
+/// Repeats `batch` (returning the ops it performed) until `min_time`
+/// seconds have been measured.
+template <typename Batch>
+KernelResult measure(const std::string& name, double min_time, Batch batch) {
+  KernelResult result;
+  result.name = name;
+  batch();  // warm-up, untimed
+  const Clock::time_point start = Clock::now();
+  do {
+    result.ops += batch();
+    result.seconds = seconds_since(start);
+  } while (result.seconds < min_time);
+  return result;
+}
+
+std::uint64_t schedule_fire_batch() {
+  constexpr std::size_t kEvents = 16384;
+  sim::Engine engine;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    engine.schedule_in(static_cast<SimTime>(i % 97), [] {});
+  }
+  engine.run();
+  return kEvents * 2;  // one schedule + one pop/fire each
+}
+
+std::uint64_t schedule_cancel_batch() {
+  constexpr std::size_t kEvents = 4096;
+  sim::Engine engine;
+  std::vector<EventId> ids(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ids[i] = engine.schedule_in(static_cast<SimTime>(i % 97), [] {});
+  }
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    engine.cancel(ids[i]);
+  }
+  engine.run();  // drains the dead heap entries
+  return kEvents * 2;
+}
+
+std::uint64_t timer_churn_batch() {
+  // Algorithm H's HELP timeout: armed, then cancelled + re-armed many
+  // times before one expiry finally fires.
+  constexpr std::size_t kTimers = 512;
+  constexpr int kRounds = 32;
+  sim::Engine engine;
+  std::vector<EventId> ids(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    ids[i] = engine.schedule_in(10.0 + static_cast<double>(i) * 0.01, [] {});
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      engine.cancel(ids[i]);
+      ids[i] = engine.schedule_in(
+          10.0 + static_cast<double>(r) * 0.5 + static_cast<double>(i) * 0.01,
+          [] {});
+    }
+  }
+  engine.run();
+  return static_cast<std::uint64_t>(kTimers) * kRounds * 2;
+}
+
+int run_kernel(const Flags& flags) {
+  const double min_time = flags.get_double("min-time", 0.4);
+  const std::vector<KernelResult> results = {
+      measure("engine_schedule_fire", min_time, schedule_fire_batch),
+      measure("engine_schedule_cancel", min_time, schedule_cancel_batch),
+      measure("engine_timer_churn", min_time, timer_churn_batch),
+  };
+
+  const std::string path = flags.get_string("kernel-out", "BENCH_kernel.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"ops\": " << r.ops
+        << ", \"seconds\": " << r.seconds
+        << ", \"ops_per_s\": " << r.ops_per_s() << "}"
+        << (i + 1 < results.size() ? "," : "") << '\n';
+    std::cout << r.name << ": " << r.ops_per_s() / 1e6 << " Mops/s\n";
+  }
+  out << "  ],\n  \"hardware_concurrency\": " << resolve_jobs(0) << "\n}\n";
+  std::cout << "kernel throughput -> " << path << '\n';
+  return 0;
+}
+
+/// Everything a sweep prints, rendered to one string: the four paper
+/// figure tables plus their CSV forms. Byte equality of this string is the
+/// determinism gate between the serial and parallel legs.
+std::string render_sweep(const std::vector<experiment::SweepCell>& cells) {
+  std::ostringstream os;
+  const auto tables = {
+      experiment::fig5_admission_probability(cells),
+      experiment::fig6_message_overhead(cells),
+      experiment::fig7_cost_per_admitted(cells),
+      experiment::fig8_migration_rate(cells),
+  };
+  for (const Table& table : tables) {
+    table.print(os);
+    table.print_csv(os);
+  }
+  return os.str();
+}
+
+int run_sweep_bench(const Flags& flags) {
+  const experiment::ScenarioConfig config = benchutil::base_config(flags);
+  experiment::SweepOptions options = benchutil::sweep_options(flags);
+  const unsigned parallel_jobs = resolve_jobs(options.jobs);
+  const std::size_t runs = options.protocols.size() *
+                           options.lambdas.size() * options.replications;
+
+  std::cout << "sweep: " << options.protocols.size() << " protocols x "
+            << options.lambdas.size() << " lambdas x "
+            << options.replications << " reps = " << runs
+            << " runs, duration=" << config.duration << " s\n";
+
+  options.jobs = 1;
+  const Clock::time_point serial_start = Clock::now();
+  const auto serial_cells = experiment::run_sweep(config, options);
+  const double serial_seconds = seconds_since(serial_start);
+  std::cout << "serial (--jobs=1): " << serial_seconds << " s\n";
+
+  options.jobs = parallel_jobs;
+  const Clock::time_point parallel_start = Clock::now();
+  const auto parallel_cells = experiment::run_sweep(config, options);
+  const double parallel_seconds = seconds_since(parallel_start);
+  std::cout << "parallel (--jobs=" << parallel_jobs << "): "
+            << parallel_seconds << " s\n";
+
+  const std::string serial_render = render_sweep(serial_cells);
+  const bool identical = serial_render == render_sweep(parallel_cells);
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::cout << "speedup: " << speedup << "x, identical: "
+            << (identical ? "yes" : "NO — determinism violation") << '\n';
+
+  const std::string path = flags.get_string("sweep-out", "BENCH_sweep.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\n  \"figure\": \"fig6\",\n  \"runs\": " << runs
+      << ",\n  \"replications\": " << options.replications
+      << ",\n  \"duration\": " << config.duration
+      << ",\n  \"jobs\": " << parallel_jobs
+      << ",\n  \"serial_seconds\": " << serial_seconds
+      << ",\n  \"parallel_seconds\": " << parallel_seconds
+      << ",\n  \"speedup\": " << speedup
+      << ",\n  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  std::cout << "sweep wall clock -> " << path << '\n';
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  int status = 0;
+  if (!flags.get_bool("skip-kernel", false)) {
+    status = run_kernel(flags);
+    if (status != 0) return status;
+  }
+  if (!flags.get_bool("skip-sweep", false)) {
+    status = run_sweep_bench(flags);
+  }
+  return status;
+}

@@ -1,0 +1,32 @@
+// Minimal fork-join index parallelism for embarrassingly parallel work.
+//
+// The experiment sweeps fan hundreds of fully independent simulations out
+// across threads; each body invocation is seconds of work, so a shared
+// atomic cursor (self-balancing: a worker that finishes early simply takes
+// the next undone index) beats any static chunking and needs no queues.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace realtor {
+
+/// Resolves a --jobs request: 0 means one worker per hardware thread (at
+/// least 1 when the hardware reports nothing); anything else is used as
+/// given.
+unsigned resolve_jobs(unsigned requested);
+
+/// Invokes body(0) .. body(count-1), each exactly once, across up to
+/// `jobs` worker threads (`jobs` = 0 resolves as resolve_jobs). With one
+/// worker — or one item — the calls happen inline on the calling thread in
+/// ascending index order, byte-for-byte the serial loop. With more, the
+/// assignment of indices to threads is nondeterministic; callers must make
+/// bodies independent and order-insensitive.
+///
+/// If a body throws, no new indices are handed out, the already running
+/// bodies finish, and the first captured exception is rethrown on the
+/// calling thread after all workers join.
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace realtor

@@ -1,9 +1,64 @@
 #include "experiment/sweep.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "experiment/simulation.hpp"
 
 namespace realtor::experiment {
+
+namespace {
+
+/// One (protocol, lambda, replication) grid point in serial order.
+struct RunSpec {
+  proto::ProtocolKind kind;
+  double lambda;
+  std::uint32_t rep;
+};
+
+RunMetrics run_one(const ScenarioConfig& base, const SweepOptions& options,
+                   const RunSpec& spec) {
+  ScenarioConfig config = base;
+  config.protocol_kind = spec.kind;
+  config.lambda = spec.lambda;
+  // Workload seed depends on (base seed, lambda, rep) only — not on the
+  // protocol — giving common random numbers across the five curves.
+  config.seed = base.seed + 1000003ULL * spec.rep +
+                static_cast<std::uint64_t>(spec.lambda * 1e6);
+  std::unique_ptr<obs::TraceSink> sink;
+  if (options.make_trace_sink) {
+    sink = options.make_trace_sink(spec.kind, spec.lambda, spec.rep);
+  }
+  Simulation simulation(config);
+  if (sink) simulation.set_trace_sink(sink.get());
+  RunMetrics metrics = simulation.run();
+  if (sink) sink->flush();
+  return metrics;
+}
+
+void accumulate(SweepCell& cell, const RunMetrics& m) {
+  cell.admission_probability.add(m.admission_probability());
+  cell.total_messages.add(m.total_messages());
+  cell.messages_per_admitted.add(m.messages_per_admitted());
+  cell.migration_rate.add(m.migration_rate());
+  cell.mean_occupancy.add(m.mean_occupancy);
+  cell.evacuation_success.add(m.evacuation_success_rate());
+  cell.summed.generated += m.generated;
+  cell.summed.admitted_local += m.admitted_local;
+  cell.summed.admitted_migrated += m.admitted_migrated;
+  cell.summed.rejected += m.rejected;
+  cell.summed.arrivals_at_dead_nodes += m.arrivals_at_dead_nodes;
+  cell.summed.completed += m.completed;
+  cell.summed.evacuation_candidates += m.evacuation_candidates;
+  cell.summed.evacuated += m.evacuated;
+  cell.summed.lost_to_attack += m.lost_to_attack;
+  cell.summed.migration_attempts += m.migration_attempts;
+  cell.summed.migration_aborts += m.migration_aborts;
+  cell.summed.ledger.merge(m.ledger);
+}
+
+}  // namespace
 
 std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
                                  const SweepOptions& options) {
@@ -14,43 +69,53 @@ std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
   std::vector<SweepCell> cells;
   cells.reserve(options.lambdas.size() * options.protocols.size());
 
+  const unsigned jobs = resolve_jobs(options.jobs);
+  if (jobs <= 1) {
+    // Serial reference path: run and merge in one streaming pass, so
+    // on_run reports live progress.
+    for (const proto::ProtocolKind kind : options.protocols) {
+      for (const double lambda : options.lambdas) {
+        SweepCell cell;
+        cell.kind = kind;
+        cell.lambda = lambda;
+        for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+          accumulate(cell, run_one(base, options, {kind, lambda, rep}));
+          if (options.on_run) options.on_run(cell, rep);
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+    return cells;
+  }
+
+  // Parallel path: fan the independent runs out, then merge the per-run
+  // metrics in exactly the serial order. OnlineStats accumulation and
+  // ledger merging see the same values in the same sequence as the serial
+  // path, so the aggregates are byte-identical.
+  std::vector<RunSpec> runs;
+  runs.reserve(options.protocols.size() * options.lambdas.size() *
+               options.replications);
+  for (const proto::ProtocolKind kind : options.protocols) {
+    for (const double lambda : options.lambdas) {
+      for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+        runs.push_back(RunSpec{kind, lambda, rep});
+      }
+    }
+  }
+  std::vector<RunMetrics> results(runs.size());
+  parallel_for(runs.size(), jobs, [&](std::size_t i) {
+    results[i] = run_one(base, options, runs[i]);
+  });
+
+  std::size_t index = 0;
   for (const proto::ProtocolKind kind : options.protocols) {
     for (const double lambda : options.lambdas) {
       SweepCell cell;
       cell.kind = kind;
       cell.lambda = lambda;
       for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
-        ScenarioConfig config = base;
-        config.protocol_kind = kind;
-        config.lambda = lambda;
-        // Workload seed depends on (base seed, lambda index, rep) only —
-        // not on the protocol — giving common random numbers across the
-        // five curves.
-        config.seed = base.seed + 1000003ULL * rep +
-                      static_cast<std::uint64_t>(lambda * 1e6);
-        Simulation simulation(config);
-        const RunMetrics& m = simulation.run();
-        cell.admission_probability.add(m.admission_probability());
-        cell.total_messages.add(m.total_messages());
-        cell.messages_per_admitted.add(m.messages_per_admitted());
-        cell.migration_rate.add(m.migration_rate());
-        cell.mean_occupancy.add(m.mean_occupancy);
-        cell.evacuation_success.add(m.evacuation_success_rate());
-        cell.summed.generated += m.generated;
-        cell.summed.admitted_local += m.admitted_local;
-        cell.summed.admitted_migrated += m.admitted_migrated;
-        cell.summed.rejected += m.rejected;
-        cell.summed.arrivals_at_dead_nodes += m.arrivals_at_dead_nodes;
-        cell.summed.completed += m.completed;
-        cell.summed.evacuation_candidates += m.evacuation_candidates;
-        cell.summed.evacuated += m.evacuated;
-        cell.summed.lost_to_attack += m.lost_to_attack;
-        cell.summed.migration_attempts += m.migration_attempts;
-        cell.summed.migration_aborts += m.migration_aborts;
-        cell.summed.ledger.merge(m.ledger);
-        if (options.on_run) {
-          options.on_run(cell, rep);
-        }
+        accumulate(cell, results[index++]);
+        if (options.on_run) options.on_run(cell, rep);
       }
       cells.push_back(std::move(cell));
     }

@@ -3,15 +3,25 @@
 // The paper overlays five protocol curves at identical arrival rates; the
 // sweep gives each (lambda, replication) cell one workload seed shared by
 // every protocol, so curve differences are protocol differences.
+//
+// Execution model: every (protocol, lambda, replication) run is an
+// independent simulation with a seed derived from (base seed, lambda, rep)
+// alone, so the grid fans out across `jobs` worker threads and the
+// per-run metrics are merged back in the fixed serial order
+// (protocol-major, lambda, then replication). Aggregates, confidence
+// intervals and report tables are therefore byte-identical for every jobs
+// value — parallelism changes wall-clock time only.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "experiment/metrics.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/trace.hpp"
 
 namespace realtor::experiment {
 
@@ -32,7 +42,26 @@ struct SweepOptions {
   std::vector<double> lambdas;
   std::vector<proto::ProtocolKind> protocols;
   std::uint32_t replications = 10;
+
+  /// Worker threads for the run fan-out: 0 (the default) uses one worker
+  /// per hardware thread, 1 runs the serial reference path on the calling
+  /// thread, N uses exactly N. Results are identical for every value.
+  unsigned jobs = 0;
+
+  /// Optional per-run trace-sink factory, called once per (protocol,
+  /// lambda, replication) run before its simulation starts; return
+  /// nullptr to leave that run untraced. With jobs > 1 the factory runs
+  /// on worker threads and every run must get its *own* sink (e.g. one
+  /// suffixed JSONL file per run) — handing out one shared file would
+  /// interleave records across threads.
+  std::function<std::unique_ptr<obs::TraceSink>(
+      proto::ProtocolKind kind, double lambda, std::uint32_t rep)>
+      make_trace_sink;
+
   /// Called after each completed run (progress reporting); may be empty.
+  /// Invocation order is always the serial cell order. With jobs > 1 the
+  /// callbacks fire during the deterministic merge after the parallel
+  /// phase, so they report completion, not live progress.
   std::function<void(const SweepCell&, std::uint32_t rep)> on_run;
 };
 

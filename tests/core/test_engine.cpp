@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -129,6 +131,140 @@ TEST(Engine, EventsProcessedCounts) {
   for (int i = 0; i < 7; ++i) e.schedule_in(1.0, [] {});
   e.run();
   EXPECT_EQ(e.events_processed(), 7u);
+}
+
+// --- Slot-arena specifics: handle safety across slot reuse. -------------
+
+TEST(Engine, CancelInvalidEventIsNoop) {
+  Engine e;
+  e.cancel(kInvalidEvent);
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(kInvalidEvent);
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StaleHandleCannotCancelReusedSlot) {
+  Engine e;
+  bool survivor_fired = false;
+  // Cancel the first event, freeing its slot; the second schedule reuses
+  // that slot under a bumped generation.
+  const EventId stale = e.schedule_at(1.0, [] { FAIL(); });
+  e.cancel(stale);
+  e.schedule_at(1.0, [&] { survivor_fired = true; });
+  e.cancel(stale);  // double-cancel through the old handle
+  EXPECT_FALSE(e.pending(stale));
+  e.run();
+  EXPECT_TRUE(survivor_fired);
+}
+
+TEST(Engine, HandleFromFiredEventCannotCancelReusedSlot) {
+  Engine e;
+  const EventId first = e.schedule_at(1.0, [] {});
+  e.run();
+  bool fired = false;
+  e.schedule_at(2.0, [&] { fired = true; });  // reuses first's slot
+  e.cancel(first);
+  EXPECT_FALSE(e.pending(first));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, FifoPreservedAcrossCancelAndReuse) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  // Interleave doomed and surviving events at one instant; cancelling the
+  // doomed ones (freeing slots mid-sequence) must not reorder survivors.
+  for (int i = 0; i < 8; ++i) {
+    doomed.push_back(e.schedule_at(5.0, [] { FAIL(); }));
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+    e.cancel(doomed.back());
+    e.schedule_at(5.0, [&order, i] { order.push_back(100 + i); });
+  }
+  e.run();
+  // FIFO among simultaneous events follows scheduling order, even though
+  // later schedules reuse slots freed by the cancels.
+  std::vector<int> sorted_by_schedule;
+  for (int i = 0; i < 8; ++i) {
+    sorted_by_schedule.push_back(i);
+    sorted_by_schedule.push_back(100 + i);
+  }
+  EXPECT_EQ(order, sorted_by_schedule);
+}
+
+TEST(Engine, SlotReuseAcrossManyCycles) {
+  Engine e;
+  std::uint64_t fired = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(e.schedule_in(1.0 + i, [&] { ++fired; }));
+    }
+    for (int i = 0; i < 20; i += 2) {
+      e.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    e.run();
+    EXPECT_EQ(e.pending_count(), 0u);
+  }
+  EXPECT_EQ(fired, 50u * 10u);
+}
+
+TEST(Engine, CancelHeavyDrainFiresSurvivorsInOrder) {
+  // Cancel far more events than survive, triggering the engine's internal
+  // dead-entry compaction; survivors must still fire in time order.
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(e.schedule_at(static_cast<SimTime>(i), [] {}));
+  }
+  std::vector<SimTime> fire_times;
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 10 != 0) {
+      e.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (int i = 0; i < 2000; i += 10) {
+    e.schedule_at(static_cast<SimTime>(i) + 0.5,
+                  [&] { fire_times.push_back(e.now()); });
+  }
+  EXPECT_EQ(e.pending_count(), 400u);
+  e.run();
+  EXPECT_EQ(fire_times.size(), 200u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    ASSERT_LT(fire_times[i - 1], fire_times[i]);
+  }
+}
+
+TEST(Engine, LargeCaptureCallbackFires) {
+  // Captures beyond EventFn's inline buffer take the heap path; they must
+  // still move into the arena and fire with their payload intact.
+  Engine e;
+  std::array<char, 256> payload{};
+  payload.fill('x');
+  payload.back() = 'y';
+  char observed = '?';
+  e.schedule_at(1.0, [payload, &observed] { observed = payload.back(); });
+  e.run();
+  EXPECT_EQ(observed, 'y');
+}
+
+TEST(Engine, ObserverSeesProcessedAndPendingCounts) {
+  Engine e;
+  std::vector<std::uint64_t> processed_samples;
+  std::vector<std::size_t> pending_samples;
+  e.set_observer(2, [&](SimTime, std::uint64_t processed,
+                        std::size_t pending) {
+    processed_samples.push_back(processed);
+    pending_samples.push_back(pending);
+  });
+  for (int i = 0; i < 6; ++i) {
+    e.schedule_at(static_cast<SimTime>(i + 1), [] {});
+  }
+  e.run();
+  EXPECT_EQ(processed_samples, (std::vector<std::uint64_t>{2, 4, 6}));
+  EXPECT_EQ(pending_samples, (std::vector<std::size_t>{4, 2, 0}));
 }
 
 // Property: random schedule/cancel interleavings preserve ordering.

@@ -14,10 +14,21 @@
 //   realtor_sim --trace=run.jsonl          # structured event trace (JSONL;
 //                                          # analyze with realtor_trace)
 //   realtor_sim --sweep=1,2,4,8 --reps=5   # protocol comparison sweep
+//   realtor_sim --sweep=2,8 --jobs=4       # sweep on 4 worker threads
+//                                          # (byte-identical output; 0 =
+//                                          # one per hardware thread)
+//
+// Sweeps + tracing: --sweep with --trace=prefix writes one JSONL file per
+// (protocol, lambda, replication) run, named
+// prefix.<protocol>.lambda<L>.rep<R>.jsonl — a single shared file would
+// interleave records across worker threads. Use --jobs=1 if the runs must
+// also execute in serial order.
 //
 // See experiment/cli_config.hpp for the complete flag list.
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 
 #include "experiment/cli_config.hpp"
 #include "experiment/figures.hpp"
@@ -123,6 +134,27 @@ int run_sweep_mode(const Flags& flags) {
       static_cast<std::uint32_t>(flags.get_int("reps", 3)));
   if (flags.get_bool("with-gossip", false)) {
     options.protocols.push_back(proto::ProtocolKind::kGossip);
+  }
+  options.jobs = static_cast<unsigned>(flags.get_int("jobs", 0));
+  // A sweep cannot funnel every run into one JSONL file without
+  // interleaving records across worker threads, so --trace here fans out
+  // to one suffixed file per (protocol, lambda, replication) run. Use
+  // --jobs=1 if you additionally need the runs traced in serial order.
+  const std::string trace_prefix = flags.get_string("trace", "");
+  if (!trace_prefix.empty()) {
+    options.make_trace_sink =
+        [trace_prefix](proto::ProtocolKind kind, double lambda,
+                       std::uint32_t rep) -> std::unique_ptr<obs::TraceSink> {
+      std::ostringstream name;
+      name << trace_prefix << '.' << proto::to_string(kind) << ".lambda"
+           << format_double(lambda, 3) << ".rep" << rep << ".jsonl";
+      auto sink = std::make_unique<obs::JsonlSink>(name.str());
+      if (!sink->ok()) {
+        std::cerr << "cannot write " << name.str() << '\n';
+        return nullptr;
+      }
+      return sink;
+    };
   }
   const auto cells = experiment::run_sweep(base, options);
   experiment::emit_figure("admission probability",

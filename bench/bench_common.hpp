@@ -5,8 +5,17 @@
 //   --reps=N            replications per cell (default 5)
 //   --duration=T        simulated seconds per run (default 600)
 //   --seed=S            base seed (default 42)
-//   --width=W           mesh width in nodes (default 5)
-//   --height=H          mesh height in nodes (default 5)
+//   --topology=mesh|torus|ring|star|complete|random  overlay shape
+//                       (default mesh; non-mesh shapes unpin the paper's
+//                       fixed unicast cost of 4 and use the computed
+//                       average path length)
+//   --width=W           mesh/torus width in nodes (default 5)
+//   --height=H          mesh/torus height in nodes (default 5)
+//   --nodes=N           node count for ring/star/complete/random
+//   --links=L           link count for random topologies
+//   --topo-seed=S       random-topology construction seed (default 1)
+//   --approx-paths      sampled average-path/diameter estimation on
+//                       topologies >= ~2500 alive nodes (exact otherwise)
 //   --queue=Q           per-node queue capacity, seconds of work (default 100)
 //   --task-size=S       mean task size, seconds (default 5)
 //   --help-threshold=V  Algorithm P solicitation threshold
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "experiment/cli_config.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/sweep.hpp"
 
@@ -42,9 +52,9 @@ inline std::vector<double> default_lambdas() {
 
 inline experiment::ScenarioConfig base_config(const Flags& flags) {
   experiment::ScenarioConfig config;
-  config.topology.kind = experiment::TopologyKind::kMesh;
-  config.topology.width = static_cast<NodeId>(flags.get_int("width", 5));
-  config.topology.height = static_cast<NodeId>(flags.get_int("height", 5));
+  // Same topology pass-through as the CLI (mesh 5x5 when unspecified), so
+  // the scale matrix is runnable straight from any bench binary.
+  experiment::apply_topology_flags(flags, config);
   config.duration = flags.get_double("duration", 600.0);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   config.queue_capacity = flags.get_double("queue", 100.0);

@@ -10,19 +10,35 @@
 //                      versus parallel (--jobs=N), the speedup, and
 //                      whether the two legs produced byte-identical
 //                      figure tables + CSV.
+//   BENCH_scale.json   the flood fan-out + attack-churn scale matrix:
+//                      mesh/torus/random topologies at N in {25, 400,
+//                      2500, 10000}, each cell a PUSH-flood-heavy run
+//                      (~--scale-floods floods regardless of N) under two
+//                      kill/restore churn waves. The N=25 cells are gated
+//                      on byte-identical metrics against a reference
+//                      captured before the zero-copy transport landed.
 //
 // Flags (besides everything bench_common.hpp documents):
 //   --kernel-out=PATH   default BENCH_kernel.json
 //   --sweep-out=PATH    default BENCH_sweep.json
-//   --skip-kernel / --skip-sweep
+//   --scale-out=PATH    default BENCH_scale.json
+//   --skip-kernel / --skip-sweep / --skip-scale
 //   --min-time=S        minimum seconds per kernel measurement (default 0.4)
+//   --scale-n=25,400,2500,10000   node counts for the scale matrix
+//   --scale-topos=mesh,torus,random
+//   --scale-floods=N    flood budget per cell (default 5000); the metric
+//                       reference only gates the default budget
+//   --scale-print-reference       print fingerprint lines for embedding
 //
 // Exit status is nonzero when the parallel sweep output differs from the
-// serial output in any byte — CI runs this as a determinism gate (a
+// serial output in any byte, or when an N=25 scale cell's metrics diverge
+// from the pre-change reference — CI runs this as a determinism gate (a
 // correctness gate, deliberately not a timing gate).
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,6 +47,7 @@
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "experiment/figures.hpp"
+#include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
 #include "sim/engine.hpp"
 
@@ -207,6 +224,196 @@ int run_sweep_bench(const Flags& flags) {
   return identical ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Scale matrix: flood fan-out + attack churn at N up to 10k nodes.
+//
+// Each cell runs pure PUSH (one advert flood per alive node per second) at
+// per-node arrival rate 0.5/s for `floods / N` simulated seconds, so every
+// cell performs roughly the same number of floods while fan-out width grows
+// with N. Two attack waves (kill max(1, N/50) nodes, restore them after 20%
+// of the run) churn the topology version, exercising the shortest-path
+// invalidation path. The unicast cost is pinned at 4.0 for every topology so
+// the cell measures the transport data path, not path statistics.
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+experiment::ScenarioConfig scale_config(const std::string& topo, NodeId n,
+                                        std::uint64_t floods) {
+  experiment::ScenarioConfig c;
+  if (topo == "torus") {
+    c.topology.kind = experiment::TopologyKind::kTorus;
+    c.topology.width = static_cast<NodeId>(std::lround(std::sqrt(double(n))));
+    c.topology.height = c.topology.width;
+  } else if (topo == "random") {
+    c.topology.kind = experiment::TopologyKind::kRandom;
+    c.topology.nodes = n;
+    c.topology.links = static_cast<std::size_t>(n) * 2;
+    c.topology.seed = 1;
+  } else {
+    c.topology.kind = experiment::TopologyKind::kMesh;
+    c.topology.width = static_cast<NodeId>(std::lround(std::sqrt(double(n))));
+    c.topology.height = c.topology.width;
+  }
+  c.protocol_kind = proto::ProtocolKind::kPurePush;
+  c.protocol.push_interval = 1.0;
+  c.lambda = 0.5 * static_cast<double>(n);
+  // At least one advertise tick per node: below 1 s the periodic adverts
+  // (first fired at push_interval) would never run and the cell would
+  // measure nothing. Only the N=10000 cells hit the floor (and so flood
+  // ~2x the nominal count); the N=25 reference cells keep duration 200 s.
+  c.duration = std::max(
+      1.0, static_cast<double>(floods) / static_cast<double>(n));
+  c.seed = 42;
+  c.fixed_unicast_cost = 4.0;  // every topology: isolate the fan-out path
+
+  const std::size_t victims =
+      std::max<std::size_t>(1, static_cast<std::size_t>(n) / 50);
+  for (const double at : {0.3, 0.6}) {
+    experiment::AttackWave wave;
+    wave.time = at * c.duration;
+    wave.count = victims;
+    wave.grace = 0.0;
+    wave.outage = 0.2 * c.duration;
+    c.attacks.push_back(wave);
+  }
+  return c;
+}
+
+/// Every counter a run produces, rendered to one exact string. Byte
+/// equality of this fingerprint is the before/after gate for the zero-copy
+/// transport: sharing payloads and batching deliveries must not move a
+/// single task or message.
+std::string metrics_fingerprint(const experiment::RunMetrics& m) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "gen=" << m.generated << ";local=" << m.admitted_local
+     << ";migr=" << m.admitted_migrated << ";rej=" << m.rejected
+     << ";dead=" << m.arrivals_at_dead_nodes << ";comp=" << m.completed
+     << ";lost=" << m.lost_to_attack << ";sends=" << m.ledger.total_sends()
+     << ";cost=" << m.ledger.total_cost()
+     << ";overhead=" << m.ledger.overhead_cost();
+  return os.str();
+}
+
+struct ScaleReference {
+  const char* topo;
+  NodeId n;
+  const char* fingerprint;
+};
+
+/// Captured from the pre-change build (eager all-pairs refresh, per-
+/// destination message copies) at the default --scale-floods=5000, seed 42.
+constexpr ScaleReference kScaleReference[] = {
+    {"mesh", 25,
+     "gen=2529;local=1758;migr=203;rej=530;dead=38;comp=1101;lost=45;"
+     "sends=5631;cost=194892;overhead=194080"},
+    {"torus", 25,
+     "gen=2529;local=1758;migr=203;rej=530;dead=38;comp=1101;lost=45;"
+     "sends=5631;cost=243112;overhead=242300"},
+    {"random", 25,
+     "gen=2529;local=1758;migr=203;rej=530;dead=38;comp=1101;lost=45;"
+     "sends=5631;cost=240232;overhead=239420"},
+};
+
+struct ScaleResult {
+  std::string topo;
+  NodeId n = 0;
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t floods = 0;
+  std::string fingerprint;
+  bool gated = false;      // an N=25 reference exists for this cell
+  bool identical = true;   // fingerprint matched that reference
+};
+
+int run_scale(const Flags& flags) {
+  const std::uint64_t floods =
+      static_cast<std::uint64_t>(flags.get_int("scale-floods", 5000));
+  const bool print_reference =
+      flags.get_bool("scale-print-reference", false);
+  std::vector<std::string> topos =
+      split_csv(flags.get_string("scale-topos", "mesh,torus,random"));
+  std::vector<NodeId> sizes;
+  for (const double n :
+       flags.get_double_list("scale-n", {25, 400, 2500, 10000})) {
+    sizes.push_back(static_cast<NodeId>(n));
+  }
+
+  std::vector<ScaleResult> results;
+  bool all_identical = true;
+  for (const std::string& topo : topos) {
+    for (const NodeId n : sizes) {
+      const experiment::ScenarioConfig config = scale_config(topo, n, floods);
+      experiment::Simulation sim(config);
+      const Clock::time_point start = Clock::now();
+      const experiment::RunMetrics& metrics = sim.run();
+      ScaleResult result;
+      result.topo = topo;
+      result.n = n;
+      result.seconds = seconds_since(start);
+      result.events = sim.engine().events_processed();
+      result.floods = metrics.ledger.sends(net::MessageKind::kPushAdvert);
+      result.fingerprint = metrics_fingerprint(metrics);
+      if (floods == 5000) {
+        for (const ScaleReference& ref : kScaleReference) {
+          if (result.topo == ref.topo && result.n == ref.n) {
+            result.gated = true;
+            result.identical = result.fingerprint == ref.fingerprint;
+            all_identical = all_identical && result.identical;
+          }
+        }
+      }
+      std::cout << "scale " << topo << " n=" << n << ": " << result.seconds
+                << " s, " << result.events << " events, " << result.floods
+                << " floods"
+                << (result.gated
+                        ? (result.identical ? " [reference ok]"
+                                            : " [REFERENCE MISMATCH]")
+                        : "")
+                << '\n';
+      if (print_reference) {
+        std::cout << "    {\"" << topo << "\", " << n << ", \""
+                  << result.fingerprint << "\"},\n";
+      }
+      results.push_back(std::move(result));
+    }
+  }
+
+  const std::string path = flags.get_string("scale-out", "BENCH_scale.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\n  \"floods_per_cell\": " << floods << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    out << "    {\"topology\": \"" << r.topo << "\", \"n\": " << r.n
+        << ", \"seconds\": " << r.seconds << ", \"events\": " << r.events
+        << ", \"floods\": " << r.floods << ", \"events_per_s\": "
+        << (r.seconds > 0.0 ? double(r.events) / r.seconds : 0.0)
+        << ", \"gated\": " << (r.gated ? "true" : "false")
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"reference_ok\": " << (all_identical ? "true" : "false")
+      << "\n}\n";
+  std::cout << "scale matrix -> " << path << '\n';
+  if (!all_identical) {
+    std::cerr << "scale matrix diverged from the pre-change reference\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +421,10 @@ int main(int argc, char** argv) {
   int status = 0;
   if (!flags.get_bool("skip-kernel", false)) {
     status = run_kernel(flags);
+    if (status != 0) return status;
+  }
+  if (!flags.get_bool("skip-scale", false)) {
+    status = run_scale(flags);
     if (status != 0) return status;
   }
   if (!flags.get_bool("skip-sweep", false)) {

@@ -6,9 +6,8 @@
 #include "proto/factory.hpp"
 
 namespace realtor::experiment {
-namespace {
 
-TopologyKind parse_topology(const std::string& name) {
+TopologyKind parse_topology_kind(const std::string& name) {
   if (name == "torus") return TopologyKind::kTorus;
   if (name == "ring") return TopologyKind::kRing;
   if (name == "star") return TopologyKind::kStar;
@@ -16,6 +15,27 @@ TopologyKind parse_topology(const std::string& name) {
   if (name == "random") return TopologyKind::kRandom;
   return TopologyKind::kMesh;
 }
+
+void apply_topology_flags(const Flags& flags, ScenarioConfig& config) {
+  config.topology.kind =
+      parse_topology_kind(flags.get_string("topology", "mesh"));
+  config.topology.width =
+      static_cast<NodeId>(flags.get_int("width", config.topology.width));
+  config.topology.height =
+      static_cast<NodeId>(flags.get_int("height", config.topology.height));
+  config.topology.nodes =
+      static_cast<NodeId>(flags.get_int("nodes", config.topology.nodes));
+  config.topology.links = static_cast<std::size_t>(
+      flags.get_int("links", static_cast<std::int64_t>(config.topology.links)));
+  config.topology.seed = static_cast<std::uint64_t>(flags.get_int(
+      "topo-seed", static_cast<std::int64_t>(config.topology.seed)));
+  if (config.topology.kind != TopologyKind::kMesh) {
+    config.fixed_unicast_cost.reset();  // 4 is only right for the 5x5 mesh
+  }
+  config.approx_path_stats = flags.get_bool("approx-paths", false);
+}
+
+namespace {
 
 std::vector<AttackWave> parse_attacks(const std::string& spec) {
   // "time:count:grace:outage" entries separated by commas.
@@ -49,19 +69,7 @@ ScenarioConfig scenario_from_flags(const Flags& flags) {
       flags.get_double("task-size", config.mean_task_size);
 
   // Topology.
-  config.topology.kind =
-      parse_topology(flags.get_string("topology", "mesh"));
-  config.topology.width =
-      static_cast<NodeId>(flags.get_int("width", config.topology.width));
-  config.topology.height =
-      static_cast<NodeId>(flags.get_int("height", config.topology.height));
-  config.topology.nodes =
-      static_cast<NodeId>(flags.get_int("nodes", config.topology.nodes));
-  config.topology.links = static_cast<std::size_t>(
-      flags.get_int("links", static_cast<std::int64_t>(config.topology.links)));
-  if (config.topology.kind != TopologyKind::kMesh) {
-    config.fixed_unicast_cost.reset();  // 4 is only right for the 5x5 mesh
-  }
+  apply_topology_flags(flags, config);
 
   // Protocol.
   if (const auto kind =

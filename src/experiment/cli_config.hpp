@@ -4,7 +4,8 @@
 // Recognized flags (all optional; defaults reproduce the paper's §5 setup):
 //   workload:  --lambda --duration --seed --queue --task-size --warmup
 //   topology:  --topology=mesh|torus|ring|star|complete|random
-//              --width --height --nodes --links
+//              --width --height --nodes --links --topo-seed
+//              --approx-paths (sampled path stats on large topologies)
 //   protocol:  --protocol=<name|paper label>  --help-threshold
 //              --pledge-threshold --alpha --beta --upper-limit
 //              --help-timeout --push-interval --ttl --max-communities
@@ -27,5 +28,15 @@ namespace realtor::experiment {
 
 /// Builds a ScenarioConfig from command-line flags.
 ScenarioConfig scenario_from_flags(const Flags& flags);
+
+/// Maps a --topology flag value to its TopologyKind (unknown names fall
+/// back to the paper's mesh). Shared with the bench binaries so their
+/// sweeps reach the same shapes as the CLI.
+TopologyKind parse_topology_kind(const std::string& name);
+
+/// Applies the topology flags (--topology/--width/--height/--nodes/
+/// --links/--topo-seed) to `config`, unpinning the mesh-specific fixed
+/// unicast cost for non-mesh shapes, plus --approx-paths.
+void apply_topology_flags(const Flags& flags, ScenarioConfig& config);
 
 }  // namespace realtor::experiment

@@ -6,6 +6,11 @@
 
 namespace realtor::experiment {
 
+namespace {
+/// fan_out() group argument addressing the whole flat overlay.
+constexpr federation::GroupId kFlatOverlay = ~federation::GroupId{0};
+}  // namespace
+
 SimTransport::SimTransport(sim::Engine& engine, const net::Topology& topology,
                            const net::CostModel& cost_model,
                            net::MessageLedger& ledger, SimTime delay,
@@ -22,13 +27,7 @@ SimTransport::SimTransport(sim::Engine& engine, const net::Topology& topology,
 }
 
 std::uint32_t SimTransport::hop_distance(NodeId from, NodeId to) const {
-  if (paths_.version() != topology_.version()) {
-    paths_.refresh();
-  }
-  const std::uint32_t d = paths_.hops(from, to);
-  // Disconnected pairs cannot exchange messages anyway; charge one leg so
-  // the event still fires and liveness is re-checked at delivery time.
-  return d == net::kUnreachable || d == 0 ? 1 : d;
+  return clamp_hops(paths_.hops(from, to));
 }
 
 net::MessageKind SimTransport::kind_of(const proto::Message& msg) {
@@ -44,8 +43,7 @@ net::MessageKind SimTransport::kind_of(const proto::Message& msg) {
   return net::MessageKind::kPushAdvert;
 }
 
-void SimTransport::deliver_later(NodeId dest, NodeId origin,
-                                 const proto::Message& msg,
+void SimTransport::deliver_later(NodeId dest, NodeId origin, Payload payload,
                                  std::uint32_t hops) {
   // Delivery is a separate event even at delay 0 so that receivers run
   // after the sender's current handler completes (FIFO at equal times).
@@ -53,11 +51,70 @@ void SimTransport::deliver_later(NodeId dest, NodeId origin,
   // reaches near neighbors before far ones, a unicast takes its path
   // length in legs.
   engine_.schedule_in(delay_ * static_cast<double>(hops),
-                      [this, dest, origin, msg] {
+                      [this, dest, origin, payload = std::move(payload)] {
+                        if (topology_.alive(dest)) {
+                          deliver_(dest, origin, *payload);
+                        }
+                      });
+}
+
+void SimTransport::deliver_later(NodeId dest, NodeId origin,
+                                 proto::Message msg, std::uint32_t hops) {
+  engine_.schedule_in(delay_ * static_cast<double>(hops),
+                      [this, dest, origin, msg = std::move(msg)] {
                         if (topology_.alive(dest)) {
                           deliver_(dest, origin, msg);
                         }
                       });
+}
+
+void SimTransport::fan_out(NodeId origin, federation::GroupId group,
+                           Payload payload, bool hop_accurate) {
+  // Hop-accurate propagation (positive delay, flood semantics) needs a
+  // distinct firing time per destination and therefore one event per
+  // destination; all other fan-outs fire at a single uniform time and can
+  // walk the destinations inside one batched event. Batched and
+  // per-destination schedules are observably equivalent (header comment);
+  // batching turns N-1 heap pushes into one.
+  const bool flat = group == kFlatOverlay;
+  if (batched() && !hop_accurate) {
+    engine_.schedule_in(delay_, [this, origin, group, payload =
+                                     std::move(payload)] {
+      if (group == kFlatOverlay) {
+        const NodeId n = topology_.num_nodes();
+        for (NodeId dest = 0; dest < n; ++dest) {
+          if (dest == origin || !topology_.alive(dest)) continue;
+          deliver_(dest, origin, *payload);
+        }
+      } else {
+        for (const NodeId dest : groups_->members(group)) {
+          if (dest == origin || !topology_.alive(dest)) continue;
+          deliver_(dest, origin, *payload);
+        }
+      }
+    });
+    return;
+  }
+
+  // One staleness resolution per flood, not per destination: the row
+  // pointer stays valid for the whole loop because nothing below touches
+  // the path cache.
+  const std::uint32_t* row = hop_accurate ? paths_.row(origin) : nullptr;
+  const auto leg = [&](NodeId dest) {
+    return row != nullptr ? clamp_hops(row[dest]) : 1u;
+  };
+  if (flat) {
+    const NodeId n = topology_.num_nodes();
+    for (NodeId dest = 0; dest < n; ++dest) {
+      if (dest == origin || !topology_.alive(dest)) continue;
+      deliver_later(dest, origin, payload, leg(dest));
+    }
+  } else {
+    for (const NodeId dest : groups_->members(group)) {
+      if (dest == origin || !topology_.alive(dest)) continue;
+      deliver_later(dest, origin, payload, leg(dest));
+    }
+  }
 }
 
 void SimTransport::flood(NodeId origin, const proto::Message& msg) {
@@ -67,19 +124,11 @@ void SimTransport::flood(NodeId origin, const proto::Message& msg) {
     const federation::GroupId group = groups_->group_of(origin);
     ledger_.record(kind_of(msg), static_cast<double>(
         groups_->intra_group_alive_links(group, topology_)));
-    for (const NodeId dest : groups_->members(group)) {
-      if (dest == origin || !topology_.alive(dest)) continue;
-      deliver_later(dest, origin, msg,
-                    delay_ > 0.0 ? hop_distance(origin, dest) : 1);
-    }
+    fan_out(origin, group, wrap(msg), delay_ > 0.0);
     return;
   }
   ledger_.record(kind_of(msg), cost_model_.flood_cost());
-  for (NodeId dest = 0; dest < topology_.num_nodes(); ++dest) {
-    if (dest == origin || !topology_.alive(dest)) continue;
-    deliver_later(dest, origin, msg,
-                  delay_ > 0.0 ? hop_distance(origin, dest) : 1);
-  }
+  fan_out(origin, kFlatOverlay, wrap(msg), delay_ > 0.0);
 }
 
 void SimTransport::escalate(NodeId origin, federation::GroupId target_group,
@@ -93,15 +142,25 @@ void SimTransport::escalate(NodeId origin, federation::GroupId target_group,
   const double remote_flood = static_cast<double>(
       groups_->intra_group_alive_links(target_group, topology_));
   ledger_.record(kind_of(msg), transit + remote_flood);
-  for (const NodeId dest : groups_->members(target_group)) {
-    if (dest == origin || !topology_.alive(dest)) continue;
-    deliver_later(dest, origin, msg);
-  }
+  // Escalated floods are charged a flat transit and delivered after one
+  // uniform leg (matching the original per-destination schedule).
+  fan_out(origin, target_group, wrap(msg), /*hop_accurate=*/false);
 }
 
 void SimTransport::unicast(NodeId from, NodeId to, const proto::Message& msg) {
   ledger_.record(kind_of(msg), cost_model_.unicast_cost(from, to));
-  deliver_later(to, from, msg, delay_ > 0.0 ? hop_distance(from, to) : 1);
+  // Record-and-drop: a unicast between alive endpoints in different
+  // partitions of the alive subgraph is charged (the sender pays for the
+  // attempt) but the message dies at the partition edge instead of
+  // teleporting across it. connected() short-circuits the per-pair check
+  // whenever the alive subgraph has no partitions at all.
+  if (topology_.alive(from) && topology_.alive(to) && !paths_.connected() &&
+      !paths_.reachable(from, to)) {
+    ++dropped_unreachable_;
+    return;
+  }
+  deliver_later(to, from, proto::Message(msg),
+                delay_ > 0.0 ? hop_distance(from, to) : 1);
 }
 
 }  // namespace realtor::experiment

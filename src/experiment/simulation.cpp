@@ -59,6 +59,9 @@ Simulation::Simulation(const ScenarioConfig& config)
       injector_(engine_, topology_),
       attack_rng_(config.seed, "attack-victims"),
       multires_rng_(config.seed, "multi-resource") {
+  if (config_.approx_path_stats) {
+    cost_model_.set_approx_path_stats(true);
+  }
   const NodeId n = topology_.num_nodes();
   hosts_.reserve(n);
   protocols_.reserve(n);
@@ -437,9 +440,8 @@ void Simulation::take_timeline_sample() {
   sample.overhead_cost = metrics_.ledger.overhead_cost();
   sample.alive_nodes = topology_.alive_count();
   double occupancy_sum = 0.0;
-  for (const NodeId node : topology_.alive_nodes()) {
-    occupancy_sum += hosts_[node]->occupancy();
-  }
+  topology_.for_each_alive_node(
+      [&](NodeId node) { occupancy_sum += hosts_[node]->occupancy(); });
   sample.mean_occupancy =
       sample.alive_nodes > 0
           ? occupancy_sum / static_cast<double>(sample.alive_nodes)
@@ -462,10 +464,10 @@ void Simulation::take_timeline_sample() {
 void Simulation::sample_observability(SimTime now) {
   const std::size_t alive = topology_.alive_count();
   double occupancy_sum = 0.0;
-  for (const NodeId id : topology_.alive_nodes()) {
+  topology_.for_each_alive_node([&](NodeId id) {
     const node::Host& host = *hosts_[id];
     occupancy_sum += host.occupancy();
-    if (!tracing()) continue;
+    if (!tracing()) return;
     const proto::ProtocolProbe probe = protocols_[id]->probe(now);
     obs::TraceEvent event(now, id, obs::EventKind::kNodeSample);
     event.with("occupancy", host.occupancy())
@@ -476,7 +478,7 @@ void Simulation::sample_observability(SimTime now) {
       event.with("help_interval", probe.help_interval);
     }
     tracer_.emit(event);
-  }
+  });
   registry_.gauge("nodes.alive").set(static_cast<double>(alive));
   registry_.gauge("occupancy.mean")
       .set(alive > 0 ? occupancy_sum / static_cast<double>(alive) : 0.0);

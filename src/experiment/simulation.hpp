@@ -88,6 +88,9 @@ class Simulation {
 
   sim::Engine& engine() { return engine_; }
   const net::Topology& topology() const { return topology_; }
+  /// The run's transport (payload-allocation and partition-drop counters).
+  const SimTransport& transport() const { return transport_; }
+  SimTransport& transport() { return transport_; }
   node::Host& host(NodeId id) { return *hosts_[id]; }
   proto::DiscoveryProtocol& protocol(NodeId id) { return *protocols_[id]; }
   const node::UtilizationMonitor& monitor(NodeId id) const {

@@ -18,6 +18,7 @@ CostModel::CostModel(const Topology& topology, CostMode mode,
 }
 
 void CostModel::refresh_if_stale() const {
+  // Queries resync lazily; this only drops stale caches eagerly.
   if (paths_.version() != topology_.version()) {
     paths_.refresh();
   }
@@ -38,9 +39,10 @@ double CostModel::flood_cost() const {
 double CostModel::unicast_cost(NodeId from, NodeId to) const {
   REALTOR_ASSERT(from < topology_.num_nodes());
   REALTOR_ASSERT(to < topology_.num_nodes());
-  refresh_if_stale();
   switch (mode_) {
     case CostMode::kPaperAverage:
+      // With a pinned cost (the paper's mesh convention) no path data is
+      // touched at all — the common case is a constant load.
       return fixed_unicast_cost_ ? *fixed_unicast_cost_
                                  : paths_.average_path_length();
     case CostMode::kExactHops: {

@@ -44,6 +44,13 @@ class CostModel {
   /// Recomputes cached paths if node liveness changed.
   void refresh_if_stale() const;
 
+  /// Opt-in sampled average-path/diameter estimation for large topologies
+  /// (forwarded to ShortestPaths::set_sampled_stats). Paper-config runs
+  /// leave this off and always get exact statistics.
+  void set_approx_path_stats(bool enabled) {
+    paths_.set_sampled_stats(enabled);
+  }
+
  private:
   const Topology& topology_;
   CostMode mode_;

@@ -1,65 +1,167 @@
 #include "net/shortest_paths.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace realtor::net {
 
-ShortestPaths::ShortestPaths(const Topology& topology) : topology_(topology) {
-  refresh();
+ShortestPaths::ShortestPaths(const Topology& topology)
+    : topology_(topology), version_(topology.version()) {}
+
+void ShortestPaths::refresh() { sync(); }
+
+void ShortestPaths::sync() const {
+  if (version_ == topology_.version()) return;
+  for (auto& [src, dist] : rows_) {
+    spare_rows_.push_back(std::move(dist));
+  }
+  rows_.clear();
+  stats_valid_ = false;
+  connected_valid_ = false;
+  version_ = topology_.version();
 }
 
-void ShortestPaths::refresh() {
+void ShortestPaths::bfs(NodeId src, std::vector<std::uint32_t>& dist) const {
   const NodeId n = topology_.num_nodes();
-  dist_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
-
-  std::deque<NodeId> frontier;
-  for (NodeId src = 0; src < n; ++src) {
-    if (!topology_.alive(src)) continue;
-    auto* row = &dist_[static_cast<std::size_t>(src) * n];
-    row[src] = 0;
-    frontier.clear();
-    frontier.push_back(src);
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop_front();
+  dist.assign(n, kUnreachable);
+  if (!topology_.alive(src)) return;
+  dist[src] = 0;
+  frontier_.clear();
+  frontier_.push_back(src);
+  std::uint32_t depth = 0;
+  while (!frontier_.empty()) {
+    ++depth;
+    next_frontier_.clear();
+    for (const NodeId u : frontier_) {
       for (const NodeId v : topology_.neighbors(u)) {
-        if (!topology_.alive(v) || row[v] != kUnreachable) continue;
-        row[v] = row[u] + 1;
-        frontier.push_back(v);
+        if (!topology_.alive(v) || dist[v] != kUnreachable) continue;
+        dist[v] = depth;
+        next_frontier_.push_back(v);
       }
     }
+    frontier_.swap(next_frontier_);
   }
+}
 
-  double sum = 0.0;
-  std::uint64_t pairs = 0;
-  diameter_ = 0;
-  connected_ = true;
-  for (NodeId a = 0; a < n; ++a) {
-    if (!topology_.alive(a)) continue;
-    for (NodeId b = 0; b < n; ++b) {
-      if (a == b || !topology_.alive(b)) continue;
-      const std::uint32_t d = dist_[static_cast<std::size_t>(a) * n + b];
-      if (d == kUnreachable) {
-        connected_ = false;
-        continue;
-      }
-      sum += d;
-      ++pairs;
-      if (d > diameter_) diameter_ = d;
+const std::vector<std::uint32_t>& ShortestPaths::row_for(NodeId src) const {
+  REALTOR_ASSERT(src < topology_.num_nodes());
+  sync();
+  const auto it = rows_.find(src);
+  if (it != rows_.end()) return it->second;
+  if (rows_.size() >= kMaxCachedRows) {
+    // Flood origins rotate; a full reset is simpler than LRU bookkeeping
+    // and just as effective at this cache size.
+    for (auto& [s, dist] : rows_) {
+      spare_rows_.push_back(std::move(dist));
     }
+    rows_.clear();
   }
-  average_path_length_ = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
-  version_ = topology_.version();
+  std::vector<std::uint32_t> dist;
+  if (!spare_rows_.empty()) {
+    dist = std::move(spare_rows_.back());
+    spare_rows_.pop_back();
+  }
+  bfs(src, dist);
+  return rows_.emplace(src, std::move(dist)).first->second;
 }
 
 std::uint32_t ShortestPaths::hops(NodeId from, NodeId to) const {
   REALTOR_ASSERT(from < topology_.num_nodes());
   REALTOR_ASSERT(to < topology_.num_nodes());
-  REALTOR_ASSERT_MSG(version_ == topology_.version(),
-                     "ShortestPaths is stale; call refresh()");
-  return dist_[static_cast<std::size_t>(from) * topology_.num_nodes() + to];
+  return row_for(from)[to];
+}
+
+const std::uint32_t* ShortestPaths::row(NodeId src) const {
+  return row_for(src).data();
+}
+
+bool ShortestPaths::connected() const {
+  sync();
+  if (connected_valid_) return connected_;
+  const NodeId n = topology_.num_nodes();
+  connected_ = true;
+  for (NodeId src = 0; src < n; ++src) {
+    if (!topology_.alive(src)) continue;
+    // One BFS: the alive subgraph is connected iff it reaches every alive
+    // node from any single alive source.
+    const std::vector<std::uint32_t>& dist = row_for(src);
+    std::size_t reached = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable) ++reached;
+    }
+    connected_ = reached == topology_.alive_count();
+    break;
+  }
+  connected_valid_ = true;
+  return connected_;
+}
+
+void ShortestPaths::ensure_stats() const {
+  sync();
+  if (stats_valid_) return;
+
+  const NodeId n = topology_.num_nodes();
+  const std::size_t alive = topology_.alive_count();
+  const bool sample =
+      sampling_enabled_ && alive >= static_cast<std::size_t>(sampling_min_nodes_);
+  // Deterministic evenly-strided source subset when sampling; every alive
+  // source otherwise.
+  const std::size_t stride =
+      sample ? std::max<std::size_t>(
+                   1, alive / static_cast<std::size_t>(sampling_sources_))
+             : 1;
+
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+  std::uint32_t diameter = 0;
+  std::vector<std::uint32_t> dist;
+  if (!spare_rows_.empty()) {
+    dist = std::move(spare_rows_.back());
+    spare_rows_.pop_back();
+  }
+  std::size_t alive_index = 0;
+  for (NodeId src = 0; src < n; ++src) {
+    if (!topology_.alive(src)) continue;
+    const bool take = alive_index % stride == 0;
+    ++alive_index;
+    if (!take) continue;
+    bfs(src, dist);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src || !topology_.alive(v)) continue;
+      const std::uint32_t d = dist[v];
+      if (d == kUnreachable) continue;
+      sum += d;
+      ++pairs;
+      if (d > diameter) diameter = d;
+    }
+  }
+  spare_rows_.push_back(std::move(dist));
+
+  average_path_length_ = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  diameter_ = diameter;
+  stats_sampled_ = sample;
+  stats_valid_ = true;
+}
+
+double ShortestPaths::average_path_length() const {
+  ensure_stats();
+  return average_path_length_;
+}
+
+std::uint32_t ShortestPaths::diameter() const {
+  ensure_stats();
+  return diameter_;
+}
+
+void ShortestPaths::set_sampled_stats(bool enabled, NodeId min_nodes,
+                                      NodeId sources) {
+  REALTOR_ASSERT(sources > 0);
+  sampling_enabled_ = enabled;
+  sampling_min_nodes_ = min_nodes;
+  sampling_sources_ = sources;
+  stats_valid_ = false;
 }
 
 }  // namespace realtor::net

@@ -1,7 +1,19 @@
-// All-pairs hop distances over the alive subgraph (BFS per source).
+// Hop distances over the alive subgraph, computed lazily.
+//
+// The old implementation eagerly rebuilt an O(N^2)-memory all-pairs matrix
+// plus an O(N^2) stats scan after every liveness change — ~400 MB and
+// seconds of work per attack event at N=10k. This version does no work
+// until asked: hops()/row() run one BFS per queried source and cache the
+// row keyed by Topology::version(); connected() is a single BFS;
+// average_path_length()/diameter() stream per-source BFS rows only when
+// the cost model actually asks (exact by default, with an opt-in sampled
+// estimator for large topologies that paper-config runs never enable).
+// Any topology change simply invalidates the caches — refresh() is now a
+// cheap resynchronization, not a rebuild.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -12,15 +24,24 @@ inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
 
 class ShortestPaths {
  public:
-  /// Computes distances over `topology`'s alive subgraph at construction
-  /// time; call refresh() after liveness changes.
+  /// Binds to `topology` without computing anything; distances materialize
+  /// on first query and track liveness changes automatically.
   explicit ShortestPaths(const Topology& topology);
 
+  /// Drops stale caches and marks the table current. Queries resync on
+  /// their own, so this is only needed to satisfy version() equality
+  /// checks without issuing a query.
   void refresh();
 
   /// Hop count between alive nodes; kUnreachable if disconnected or if
   /// either endpoint is dead.
   std::uint32_t hops(NodeId from, NodeId to) const;
+
+  /// Distance row for `src` (indexable by destination, num_nodes wide).
+  /// Computed by one BFS and cached; the pointer is valid until the next
+  /// topology change or cache eviction — consume it before issuing other
+  /// queries. Lets flood loops resolve N-1 destinations with one lookup.
+  const std::uint32_t* row(NodeId src) const;
 
   bool reachable(NodeId from, NodeId to) const {
     return hops(from, to) != kUnreachable;
@@ -28,25 +49,64 @@ class ShortestPaths {
 
   /// Mean hop count over all ordered pairs of distinct, mutually reachable
   /// alive nodes. On the paper's 5x5 mesh this is ~3.33; the paper rounds
-  /// the per-PLEDGE cost to 4.
-  double average_path_length() const { return average_path_length_; }
+  /// the per-PLEDGE cost to 4. Exact unless the sampled estimator is
+  /// enabled and the topology is large.
+  double average_path_length() const;
 
-  /// Longest finite shortest path.
-  std::uint32_t diameter() const { return diameter_; }
+  /// Longest finite shortest path (a lower bound when sampling).
+  std::uint32_t diameter() const;
 
-  /// True when every pair of alive nodes is mutually reachable.
-  bool connected() const { return connected_; }
+  /// True when every pair of alive nodes is mutually reachable. One BFS.
+  bool connected() const;
 
   /// Topology version this table was computed against.
   std::uint64_t version() const { return version_; }
 
+  /// Opt-in sampled path statistics: when enabled and the alive population
+  /// reaches `min_nodes`, average_path_length()/diameter() BFS only
+  /// `sources` evenly-strided alive sources instead of all of them.
+  /// Deterministic (no RNG). Off by default — paper-config runs and the
+  /// golden tests always take the exact path.
+  void set_sampled_stats(bool enabled, NodeId min_nodes = 2500,
+                         NodeId sources = 64);
+
+  /// True if the most recent stats computation used sampling.
+  bool stats_sampled() const { return stats_sampled_; }
+
  private:
+  /// Invalidates caches if the topology moved on; updates version_.
+  void sync() const;
+  /// BFS from `src` into `dist` (resized/reset inside).
+  void bfs(NodeId src, std::vector<std::uint32_t>& dist) const;
+  /// Returns the cached row for `src`, computing it if absent.
+  const std::vector<std::uint32_t>& row_for(NodeId src) const;
+  void ensure_stats() const;
+
+  /// Row-cache capacity: enough for every concurrent flood origin in a
+  /// burst without approaching all-pairs memory at N=10k.
+  static constexpr std::size_t kMaxCachedRows = 64;
+
   const Topology& topology_;
-  std::vector<std::uint32_t> dist_;  // row-major num_nodes x num_nodes
-  double average_path_length_ = 0.0;
-  std::uint32_t diameter_ = 0;
-  bool connected_ = false;
-  std::uint64_t version_ = 0;
+  mutable std::uint64_t version_ = 0;
+
+  mutable std::unordered_map<NodeId, std::vector<std::uint32_t>> rows_;
+  mutable std::vector<std::vector<std::uint32_t>> spare_rows_;
+
+  mutable bool stats_valid_ = false;
+  mutable double average_path_length_ = 0.0;
+  mutable std::uint32_t diameter_ = 0;
+  mutable bool stats_sampled_ = false;
+
+  mutable bool connected_valid_ = false;
+  mutable bool connected_ = false;
+
+  bool sampling_enabled_ = false;
+  NodeId sampling_min_nodes_ = 2500;
+  NodeId sampling_sources_ = 64;
+
+  // Scratch for BFS frontiers; reused across queries.
+  mutable std::vector<NodeId> frontier_;
+  mutable std::vector<NodeId> next_frontier_;
 };
 
 }  // namespace realtor::net

@@ -10,7 +10,6 @@ namespace realtor::net {
 
 Topology::Topology(NodeId num_nodes)
     : num_nodes_(num_nodes),
-      adjacency_(num_nodes),
       alive_(num_nodes, 1),
       alive_count_(num_nodes) {
   REALTOR_ASSERT(num_nodes > 0);
@@ -20,31 +19,30 @@ void Topology::add_link(NodeId a, NodeId b) {
   REALTOR_ASSERT(a < num_nodes_ && b < num_nodes_);
   REALTOR_ASSERT_MSG(a != b, "self links are not allowed");
   REALTOR_ASSERT_MSG(!has_link(a, b), "duplicate link");
-  adjacency_[a].push_back(b);
-  adjacency_[b].push_back(a);
+  link_set_.insert(pack_link(a, b));
   links_.push_back(Link{std::min(a, b), std::max(a, b)});
+  if (alive_[a] && alive_[b]) ++alive_link_count_;
   ++version_;
-}
-
-const std::vector<NodeId>& Topology::neighbors(NodeId node) const {
-  REALTOR_ASSERT(node < num_nodes_);
-  return adjacency_[node];
 }
 
 bool Topology::has_link(NodeId a, NodeId b) const {
   REALTOR_ASSERT(a < num_nodes_ && b < num_nodes_);
-  const auto& adj = adjacency_[a];
-  return std::find(adj.begin(), adj.end(), b) != adj.end();
-}
-
-bool Topology::alive(NodeId node) const {
-  REALTOR_ASSERT(node < num_nodes_);
-  return alive_[node] != 0;
+  return link_set_.count(pack_link(a, b)) != 0;
 }
 
 void Topology::set_alive(NodeId node, bool value) {
   REALTOR_ASSERT(node < num_nodes_);
   if ((alive_[node] != 0) == value) return;
+  // Links to alive neighbors flip usability together with this node.
+  std::size_t alive_degree = 0;
+  for (const NodeId n : neighbors(node)) {
+    if (alive_[n]) ++alive_degree;
+  }
+  if (value) {
+    alive_link_count_ += alive_degree;
+  } else {
+    alive_link_count_ -= alive_degree;
+  }
   alive_[node] = value ? 1 : 0;
   alive_count_ += value ? 1u : static_cast<std::size_t>(-1);
   ++version_;
@@ -59,20 +57,35 @@ std::vector<NodeId> Topology::alive_nodes() const {
   return out;
 }
 
-std::size_t Topology::alive_link_count() const {
-  std::size_t count = 0;
-  for (const Link& link : links_) {
-    if (alive_[link.a] && alive_[link.b]) ++count;
-  }
-  return count;
-}
-
 std::vector<NodeId> Topology::alive_neighbors(NodeId node) const {
   std::vector<NodeId> out;
   for (const NodeId n : neighbors(node)) {
     if (alive_[n]) out.push_back(n);
   }
   return out;
+}
+
+void Topology::rebuild_csr() const {
+  csr_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Link& link : links_) {
+    ++csr_offsets_[link.a + 1];
+    ++csr_offsets_[link.b + 1];
+  }
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    csr_offsets_[n + 1] += csr_offsets_[n];
+  }
+  csr_neighbors_.resize(links_.size() * 2);
+  // Second pass appends in link-insertion order, reproducing the neighbor
+  // order the old vector-of-vectors adjacency produced (each add_link
+  // appended to both endpoints' lists); cursor starts as a copy of the
+  // row offsets.
+  std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                    csr_offsets_.end() - 1);
+  for (const Link& link : links_) {
+    csr_neighbors_[cursor[link.a]++] = link.b;
+    csr_neighbors_[cursor[link.b]++] = link.a;
+  }
+  csr_links_ = links_.size();
 }
 
 Topology make_mesh(NodeId width, NodeId height) {

@@ -7,27 +7,6 @@ namespace realtor::proto {
 AvailabilityTable::AvailabilityTable(NodeId self, double availability_floor)
     : self_(self), floor_(availability_floor) {}
 
-void AvailabilityTable::update(NodeId node, double availability, SimTime now,
-                               std::uint8_t security_level) {
-  entries_[node] = Entry{availability, now, security_level};
-}
-
-void AvailabilityTable::debit(NodeId node, double fraction) {
-  const auto it = entries_.find(node);
-  if (it == entries_.end()) return;  // never-heard peers are not candidates
-  it->second.availability -= fraction;
-  if (it->second.availability < 0.0) it->second.availability = 0.0;
-}
-
-void AvailabilityTable::invalidate(NodeId node) {
-  entries_[node].availability = 0.0;
-}
-
-double AvailabilityTable::availability(NodeId node) const {
-  const auto it = entries_.find(node);
-  return it == entries_.end() ? 0.0 : it->second.availability;
-}
-
 std::vector<NodeId> AvailabilityTable::candidates(
     const std::vector<NodeId>& peers, RngStream& rng, double min_availability,
     std::uint8_t min_security) const {
@@ -40,9 +19,10 @@ std::vector<NodeId> AvailabilityTable::candidates(
   ranked.reserve(peers.size());
   for (const NodeId peer : peers) {
     if (peer == self_) continue;
-    const auto it = entries_.find(peer);
-    if (it == entries_.end()) continue;  // never heard: not a candidate
-    const Entry& entry = it->second;
+    if (peer >= entries_.size() || !entries_[peer].heard) {
+      continue;  // never heard: not a candidate
+    }
+    const Entry& entry = entries_[peer];
     if (entry.availability <= floor_) continue;
     if (entry.availability < min_availability) continue;
     if (entry.security_level < min_security) continue;

@@ -7,10 +7,14 @@
 // no-expiry property is also the push schemes' weakness under attack: a
 // dead host stops advertising and keeps its stale, possibly rosy entry —
 // the survivability ablation exercises exactly that.)
+//
+// Storage is a flat array indexed by NodeId (grown on demand): every
+// advert delivery is one table store, and this is the single hottest
+// write in a push-heavy run — N-1 stores per flood — so it must not pay
+// hashing or node allocation.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,21 +30,50 @@ class AvailabilityTable {
 
   /// Records an advertisement.
   void update(NodeId node, double availability, SimTime now,
-              std::uint8_t security_level = 255);
+              std::uint8_t security_level = 255) {
+    Entry& entry = slot(node);
+    if (!entry.heard) {
+      entry.heard = true;
+      ++size_;
+    }
+    entry.availability = availability;
+    entry.updated = now;
+    entry.security_level = security_level;
+  }
 
   /// Locally debits availability after migrating work to `node`.
-  void debit(NodeId node, double fraction);
+  void debit(NodeId node, double fraction) {
+    if (node >= entries_.size() || !entries_[node].heard) {
+      return;  // never-heard peers are not candidates
+    }
+    Entry& entry = entries_[node];
+    entry.availability -= fraction;
+    if (entry.availability < 0.0) entry.availability = 0.0;
+  }
 
   /// Drops to zero availability (failed negotiation showed the entry is
   /// wrong); recovers at the peer's next advertisement.
-  void invalidate(NodeId node);
+  void invalidate(NodeId node) {
+    Entry& entry = slot(node);
+    if (!entry.heard) {
+      entry.heard = true;
+      ++size_;
+    }
+    entry.availability = 0.0;
+  }
 
   /// Availability of `node`: last advertised, or 0.0 if never heard from.
-  double availability(NodeId node) const;
+  double availability(NodeId node) const {
+    return node < entries_.size() && entries_[node].heard
+               ? entries_[node].availability
+               : 0.0;
+  }
 
-  bool heard_from(NodeId node) const { return entries_.count(node) > 0; }
+  bool heard_from(NodeId node) const {
+    return node < entries_.size() && entries_[node].heard;
+  }
   /// Entries currently held (push-side sampler probe).
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return size_; }
 
   /// Candidates among `peers` matching the requirements, best
   /// availability first, random tie-break. Security of never-heard peers
@@ -54,11 +87,18 @@ class AvailabilityTable {
     double availability = 1.0;
     SimTime updated = 0.0;
     std::uint8_t security_level = 255;
+    bool heard = false;
   };
+
+  Entry& slot(NodeId node) {
+    if (node >= entries_.size()) entries_.resize(node + 1);
+    return entries_[node];
+  }
 
   NodeId self_;
   double floor_;
-  std::unordered_map<NodeId, Entry> entries_;
+  std::size_t size_ = 0;
+  std::vector<Entry> entries_;  // indexed by NodeId
 };
 
 }  // namespace realtor::proto

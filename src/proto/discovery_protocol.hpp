@@ -166,6 +166,11 @@ class DiscoveryProtocol {
   /// resource discovery schemes").
   std::vector<NodeId> peers() const;
 
+  /// Same set written into `out` (cleared first) — lets periodic hot paths
+  /// (gossip rounds, candidate queries) reuse one buffer instead of
+  /// allocating per call.
+  void peers_into(std::vector<NodeId>& out) const;
+
   NodeId self_;
   ProtocolConfig config_;
   ProtocolEnv env_;
@@ -181,11 +186,17 @@ inline DiscoveryProtocol::DiscoveryProtocol(NodeId self,
       env_(std::move(env)),
       rng_(env_.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1)), "proto-ties") {}
 
+inline void DiscoveryProtocol::peers_into(std::vector<NodeId>& out) const {
+  out.clear();
+  env_.topology->for_each_alive_node([&](NodeId n) {
+    if (n != self_) out.push_back(n);
+  });
+}
+
 inline std::vector<NodeId> DiscoveryProtocol::peers() const {
   std::vector<NodeId> out;
-  for (const NodeId n : env_.topology->alive_nodes()) {
-    if (n != self_) out.push_back(n);
-  }
+  out.reserve(env_.topology->alive_count());
+  peers_into(out);
   return out;
 }
 

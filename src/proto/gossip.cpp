@@ -53,7 +53,8 @@ void GossipProtocol::send_digest(NodeId to, bool reply) {
 
 void GossipProtocol::gossip_round() {
   if (!env_.topology->alive(self_)) return;
-  std::vector<NodeId> alive_peers = peers();
+  std::vector<NodeId>& alive_peers = peer_scratch_;
+  peers_into(alive_peers);
   if (alive_peers.empty()) return;
   const std::uint32_t fanout = std::min<std::uint32_t>(
       config_.gossip_fanout,

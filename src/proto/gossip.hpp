@@ -52,6 +52,7 @@ class GossipProtocol final : public DiscoveryProtocol {
 
   std::unordered_map<NodeId, DigestEntry> digest_;  // keyed by entry.node
   std::uint64_t self_version_ = 0;
+  std::vector<NodeId> peer_scratch_;  // reused across gossip rounds
   sim::PeriodicProcess gossiper_;
 };
 

@@ -79,6 +79,64 @@ TEST(ShortestPaths, RefreshTracksTopologyVersion) {
   EXPECT_EQ(sp.hops(0, 4), kUnreachable);
 }
 
+TEST(ShortestPaths, RowMatchesPerPairHops) {
+  Topology mesh = make_mesh(4, 4);
+  mesh.set_alive(5, false);
+  const ShortestPaths sp(mesh);
+  const std::uint32_t* row = sp.row(0);
+  ASSERT_NE(row, nullptr);
+  for (NodeId dest = 0; dest < mesh.num_nodes(); ++dest) {
+    EXPECT_EQ(row[dest], sp.hops(0, dest)) << "dest " << dest;
+  }
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[5], kUnreachable);
+}
+
+TEST(ShortestPaths, RowCacheEvictionKeepsAnswersCorrect) {
+  // More sources than the 64-row cache: every row must still be right
+  // after the cache wraps (eviction clears, rows rebuild on demand).
+  const Topology mesh = make_mesh(10, 10);
+  const ShortestPaths sp(mesh);
+  for (NodeId src = 0; src < 100; ++src) {
+    EXPECT_EQ(sp.hops(src, src), 0u);
+    EXPECT_EQ(sp.hops(src, 99), (9 - src % 10) + (9 - src / 10));
+  }
+  // Re-query the first source after the cache cycled.
+  EXPECT_EQ(sp.hops(0, 99), 18u);
+  EXPECT_EQ(sp.row(0)[99], 18u);
+}
+
+TEST(ShortestPaths, SampledStatsDeterministicAndClose) {
+  const Topology torus = make_torus(60, 60);  // 3600 nodes
+  ShortestPaths exact(torus);
+  exact.set_sampled_stats(false);
+  const double exact_apl = exact.average_path_length();
+  EXPECT_FALSE(exact.stats_sampled());
+
+  ShortestPaths sampled(torus);
+  sampled.set_sampled_stats(true);
+  const double est1 = sampled.average_path_length();
+  EXPECT_TRUE(sampled.stats_sampled());
+  // Deterministic stride sampling: repeated queries and fresh instances
+  // agree bit-for-bit.
+  EXPECT_DOUBLE_EQ(sampled.average_path_length(), est1);
+  ShortestPaths sampled2(torus);
+  sampled2.set_sampled_stats(true);
+  EXPECT_DOUBLE_EQ(sampled2.average_path_length(), est1);
+  // A torus is vertex-transitive, so any source sample is exact; allow a
+  // loose band anyway to keep the test about sanity, not symmetry.
+  EXPECT_NEAR(est1, exact_apl, 0.05 * exact_apl);
+  EXPECT_EQ(sampled.diameter(), exact.diameter());
+}
+
+TEST(ShortestPaths, SampledStatsStayExactBelowThreshold) {
+  const Topology mesh = make_mesh(5, 5);
+  ShortestPaths sp(mesh);
+  sp.set_sampled_stats(true);  // default min_nodes 2500 >> 25
+  EXPECT_NEAR(sp.average_path_length(), 10.0 / 3.0, 1e-9);  // exact value
+  EXPECT_FALSE(sp.stats_sampled());
+}
+
 TEST(ShortestPaths, CompleteGraphAllOnes) {
   const Topology c = make_complete(8);
   const ShortestPaths sp(c);

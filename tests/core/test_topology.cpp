@@ -102,6 +102,56 @@ TEST(Topology, AliveNodesLists) {
   EXPECT_EQ(alive, (std::vector<NodeId>{0, 1, 3}));
 }
 
+TEST(Topology, NeighborSpanMatchesAdjacency) {
+  Topology mesh = make_mesh(3, 3);
+  // Node 4 is the center: neighbors in link-insertion order.
+  const NeighborSpan center = mesh.neighbors(4);
+  EXPECT_EQ(center.size(), 4u);
+  EXPECT_FALSE(center.empty());
+  std::vector<NodeId> collected(center.begin(), center.end());
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, (std::vector<NodeId>{1, 3, 5, 7}));
+  EXPECT_EQ(center[0], *center.begin());
+  // Spans stay valid and correct after a liveness flip (CSR structure is
+  // keyed to links, not liveness).
+  mesh.set_alive(1, false);
+  EXPECT_EQ(mesh.neighbors(4).size(), 4u);
+}
+
+TEST(Topology, ForEachAliveNeighborSkipsDead) {
+  Topology mesh = make_mesh(3, 3);
+  mesh.set_alive(1, false);
+  mesh.set_alive(5, false);
+  std::vector<NodeId> seen;
+  mesh.for_each_alive_neighbor(4, [&](NodeId n) { seen.push_back(n); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<NodeId>{3, 7}));
+}
+
+TEST(Topology, ForEachAliveNodeMatchesAliveNodes) {
+  Topology mesh = make_mesh(4, 4);
+  mesh.set_alive(0, false);
+  mesh.set_alive(9, false);
+  std::vector<NodeId> streamed;
+  mesh.for_each_alive_node([&](NodeId n) { streamed.push_back(n); });
+  EXPECT_EQ(streamed, mesh.alive_nodes());
+  EXPECT_EQ(streamed.size(), mesh.alive_count());
+}
+
+TEST(Topology, CsrSurvivesLinkAdditionAfterQuery) {
+  Topology topo(4);
+  topo.add_link(0, 1);
+  EXPECT_EQ(topo.neighbors(0).size(), 1u);  // builds the CSR
+  topo.add_link(0, 2);                      // invalidates it
+  topo.add_link(2, 3);
+  const NeighborSpan n0 = topo.neighbors(0);
+  std::vector<NodeId> collected(n0.begin(), n0.end());
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(topo.neighbors(3).size(), 1u);
+  EXPECT_TRUE(topo.neighbors(1).size() == 1u);
+}
+
 class MeshSizeTest
     : public ::testing::TestWithParam<std::pair<NodeId, NodeId>> {};
 

@@ -1,0 +1,230 @@
+// Zero-copy fan-out data path: proof of equivalence between batched and
+// per-destination delivery scheduling, the one-allocation-per-flood
+// payload guarantee, and record-and-drop accounting for unicasts across a
+// partition of the alive subgraph.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiment/sim_transport.hpp"
+#include "experiment/simulation.hpp"
+
+namespace realtor::experiment {
+namespace {
+
+struct Delivery {
+  NodeId to;
+  NodeId from;
+  SimTime at;
+
+  bool operator==(const Delivery& o) const {
+    return to == o.to && from == o.from && at == o.at;
+  }
+};
+
+class TransportFanoutTest : public ::testing::Test {
+ protected:
+  TransportFanoutTest()
+      : topo_(net::make_mesh(5, 5)),
+        cost_(topo_, net::CostMode::kPaperAverage, 4.0) {}
+
+  SimTransport make(SimTime delay) {
+    return SimTransport(engine_, topo_, cost_, ledger_, delay,
+                        [this](NodeId to, NodeId from, const proto::Message&) {
+                          deliveries_.push_back(
+                              Delivery{to, from, engine_.now()});
+                        });
+  }
+
+  sim::Engine engine_;
+  net::Topology topo_;
+  net::CostModel cost_;
+  net::MessageLedger ledger_;
+  std::vector<Delivery> deliveries_;
+};
+
+// The proof-of-equivalence check: the same flood + liveness script runs
+// once with per-destination events and once batched; under the engine's
+// time-then-FIFO ordering the delivery sequences must be element-for-
+// element identical, including a kill landing between two floods.
+TEST_F(TransportFanoutTest, BatchedMatchesPerDestinationDeliverySequence) {
+  const proto::Message msg{proto::HelpMsg{3, 0, 0.5}};
+  std::vector<Delivery> reference;
+  for (const SimTransport::DeliveryMode mode :
+       {SimTransport::DeliveryMode::kPerDestination,
+        SimTransport::DeliveryMode::kBatched}) {
+    sim::Engine engine;
+    net::Topology topo = net::make_mesh(5, 5);
+    net::CostModel cost(topo, net::CostMode::kPaperAverage, 4.0);
+    net::MessageLedger ledger;
+    std::vector<Delivery> deliveries;
+    SimTransport transport(
+        engine, topo, cost, ledger, 0.0,
+        [&deliveries, &engine](NodeId to, NodeId from, const proto::Message&) {
+          deliveries.push_back(Delivery{to, from, engine.now()});
+        });
+    transport.set_delivery_mode(mode);
+    engine.schedule_at(1.0, [&] { transport.flood(3, msg); });
+    engine.schedule_at(1.0, [&] { topo.set_alive(7, false); });
+    engine.schedule_at(2.0, [&] { transport.flood(12, msg); });
+    engine.schedule_at(3.0, [&] { topo.set_alive(7, true); });
+    engine.schedule_at(4.0, [&] { transport.flood(7, msg); });
+    engine.run();
+    if (mode == SimTransport::DeliveryMode::kPerDestination) {
+      reference = deliveries;
+      // Node 7 misses the first flood too: the kill fires at the same
+      // timestamp as the flood but before its zero-delay deliveries, and
+      // liveness is checked at delivery time. 23 + 23 + 24.
+      ASSERT_EQ(reference.size(), 70u);
+    } else {
+      EXPECT_EQ(deliveries, reference);
+    }
+  }
+}
+
+// Positive-delay floods stay hop-accurate and per-destination even when
+// batching is requested; the schedule must match the per-destination one.
+TEST_F(TransportFanoutTest, DelayedFloodIsHopAccurateUnderBothModes) {
+  std::vector<Delivery> reference;
+  for (const SimTransport::DeliveryMode mode :
+       {SimTransport::DeliveryMode::kPerDestination,
+        SimTransport::DeliveryMode::kBatched}) {
+    sim::Engine engine;
+    net::Topology topo = net::make_mesh(5, 5);
+    net::CostModel cost(topo, net::CostMode::kPaperAverage, 4.0);
+    net::MessageLedger ledger;
+    std::vector<Delivery> deliveries;
+    SimTransport transport(
+        engine, topo, cost, ledger, 0.5,
+        [&deliveries, &engine](NodeId to, NodeId from, const proto::Message&) {
+          deliveries.push_back(Delivery{to, from, engine.now()});
+        });
+    transport.set_delivery_mode(mode);
+    transport.flood(0, proto::Message{proto::HelpMsg{0, 0, 0.5}});
+    engine.run();
+    ASSERT_EQ(deliveries.size(), 24u);
+    // Hop-accurate: the far corner hears last, one leg per hop.
+    EXPECT_DOUBLE_EQ(deliveries.front().at, 0.5);   // a 1-hop neighbor
+    EXPECT_DOUBLE_EQ(deliveries.back().at, 4.0);    // node 24, 8 hops
+    if (mode == SimTransport::DeliveryMode::kPerDestination) {
+      reference = deliveries;
+    } else {
+      EXPECT_EQ(deliveries, reference);
+    }
+  }
+}
+
+// One ref-counted envelope per flood regardless of destination count or
+// scheduling mode — the allocation-counting hook of the acceptance
+// criteria.
+TEST_F(TransportFanoutTest, FloodAllocatesExactlyOnePayload) {
+  auto transport = make(0.0);
+  EXPECT_EQ(transport.payload_allocations(), 0u);
+  transport.flood(0, proto::Message{proto::HelpMsg{0, 0, 0.5}});
+  engine_.run();
+  EXPECT_EQ(deliveries_.size(), 24u);
+  EXPECT_EQ(transport.payload_allocations(), 1u);
+
+  transport.set_delivery_mode(SimTransport::DeliveryMode::kPerDestination);
+  transport.flood(12, proto::Message{proto::HelpMsg{12, 1, 0.5}});
+  engine_.run();
+  EXPECT_EQ(deliveries_.size(), 48u);
+  EXPECT_EQ(transport.payload_allocations(), 2u);
+}
+
+TEST_F(TransportFanoutTest, EscalateAllocatesExactlyOnePayload) {
+  auto transport = make(0.0);
+  const federation::GroupMap groups =
+      federation::GroupMap::mesh_blocks(5, 5, 5, 1);  // 5 groups of 5
+  transport.set_group_map(&groups);
+  transport.escalate(0, 2, proto::Message{proto::HelpMsg{0, 0, 0.9}});
+  engine_.run();
+  EXPECT_EQ(deliveries_.size(), 5u);  // whole row 2, origin not a member
+  EXPECT_EQ(transport.payload_allocations(), 1u);
+}
+
+// A full simulation (attacks, migrations, periodic floods) must produce
+// identical metrics under forced per-destination and forced batched
+// scheduling — the end-to-end half of the equivalence argument.
+TEST(TransportEquivalence, FullRunMetricsIdenticalAcrossDeliveryModes) {
+  ScenarioConfig config;
+  config.protocol_kind = proto::ProtocolKind::kPurePush;
+  config.duration = 60.0;
+  config.lambda = 6.0;
+  config.seed = 7;
+  AttackWave wave;
+  wave.time = 20.0;
+  wave.count = 3;
+  wave.outage = 15.0;
+  config.attacks.push_back(wave);
+
+  net::LedgerSnapshot ledgers[2];
+  std::uint64_t generated[2], migrated[2], completed[2], lost[2];
+  int i = 0;
+  for (const SimTransport::DeliveryMode mode :
+       {SimTransport::DeliveryMode::kPerDestination,
+        SimTransport::DeliveryMode::kBatched}) {
+    Simulation sim(config);
+    sim.transport().set_delivery_mode(mode);
+    const RunMetrics& m = sim.run();
+    ledgers[i] = m.ledger.snapshot();
+    generated[i] = m.generated;
+    migrated[i] = m.admitted_migrated;
+    completed[i] = m.completed;
+    lost[i] = m.lost_to_attack;
+    ++i;
+  }
+  EXPECT_EQ(generated[0], generated[1]);
+  EXPECT_EQ(migrated[0], migrated[1]);
+  EXPECT_EQ(completed[0], completed[1]);
+  EXPECT_EQ(lost[0], lost[1]);
+  EXPECT_EQ(ledgers[0].total_sends, ledgers[1].total_sends);
+  EXPECT_DOUBLE_EQ(ledgers[0].total_cost, ledgers[1].total_cost);
+  EXPECT_DOUBLE_EQ(ledgers[0].overhead_cost, ledgers[1].overhead_cost);
+}
+
+// Record-and-drop: a unicast between alive endpoints in different
+// partitions is charged to the ledger but never delivered; a unicast
+// inside one partition still flows.
+TEST(TransportPartition, UnreachableUnicastIsRecordedAndDropped) {
+  sim::Engine engine;
+  net::Topology ring = net::make_ring(6);
+  net::CostModel cost(ring, net::CostMode::kPaperAverage, 4.0);
+  net::MessageLedger ledger;
+  std::vector<Delivery> deliveries;
+  SimTransport transport(
+      engine, ring, cost, ledger, 0.0,
+      [&](NodeId to, NodeId from, const proto::Message&) {
+        deliveries.push_back(Delivery{to, from, engine.now()});
+      });
+
+  ring.set_alive(0, false);
+  ring.set_alive(3, false);  // {1,2} | {4,5}
+
+  const proto::Message pledge{proto::PledgeMsg{1, 0.5, 0, 1.0}};
+  transport.unicast(1, 4, pledge);  // across the partition
+  engine.run();
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(transport.dropped_unreachable(), 1u);
+  // The send attempt is still accounted at the cost-model price.
+  EXPECT_EQ(ledger.sends(net::MessageKind::kPledge), 1u);
+  EXPECT_DOUBLE_EQ(ledger.cost(net::MessageKind::kPledge), 4.0);
+
+  transport.unicast(1, 2, pledge);  // same partition: delivered
+  engine.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].to, 2u);
+  EXPECT_EQ(transport.dropped_unreachable(), 1u);
+  EXPECT_EQ(ledger.sends(net::MessageKind::kPledge), 2u);
+
+  // A unicast to a dead node keeps the old semantics: charged, silently
+  // dropped at delivery time, and NOT counted as a partition drop.
+  transport.unicast(1, 0, pledge);
+  engine.run();
+  EXPECT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(transport.dropped_unreachable(), 1u);
+  EXPECT_EQ(ledger.sends(net::MessageKind::kPledge), 3u);
+}
+
+}  // namespace
+}  // namespace realtor::experiment

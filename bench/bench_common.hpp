@@ -34,6 +34,12 @@
 //                       Results are byte-identical for every value.
 //   --csv=PATH          also write the table as CSV
 //   --ci                print 95% confidence half-widths
+//   --trace=PREFIX      JSONL trace per sweep run, named
+//                       PREFIX.<proto>.lambda<L>.rep<R>.jsonl
+//   --trace-flush-every=K  batch JSONL writes, K lines per flush
+//   --flight-recorder[=N]  binary flight ring per sweep run (N records),
+//                       dumped to <flight-out>.<proto>.lambda<L>.rep<R>.bin
+//   --flight-out=PREFIX flight dump prefix (default "flight")
 #pragma once
 
 #include <string>
@@ -84,6 +90,24 @@ inline experiment::SweepOptions sweep_options(const Flags& flags) {
       flags.get_double_list("lambdas", default_lambdas()),
       static_cast<std::uint32_t>(flags.get_int("reps", 5)));
   options.jobs = static_cast<unsigned>(flags.get_int("jobs", 0));
+  // Same per-run tracing the CLI sweep offers (one suffixed file per run,
+  // never shared across workers); tracing does not change any measured
+  // metric, only wall-clock time.
+  experiment::RunSinkOptions sinks;
+  sinks.jsonl_prefix = flags.get_string("trace", "");
+  sinks.jsonl_flush_every =
+      static_cast<std::size_t>(flags.get_int("trace-flush-every", 0));
+  if (flags.has("flight-recorder")) {
+    sinks.flight_prefix = flags.get_string("flight-out", "flight");
+    const std::int64_t n = flags.get_int(
+        "flight-recorder",
+        static_cast<std::int64_t>(obs::kDefaultFlightCapacity));
+    sinks.flight_capacity = n > 0 ? static_cast<std::size_t>(n)
+                                  : obs::kDefaultFlightCapacity;
+    sinks.jsonl_prefix.clear();  // flight wins if both were passed
+  }
+  options.make_trace_sink =
+      experiment::make_run_sink_factory(std::move(sinks));
   return options;
 }
 

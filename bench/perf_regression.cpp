@@ -17,31 +17,61 @@
 //                      kill/restore churn waves. The N=25 cells are gated
 //                      on byte-identical metrics against a reference
 //                      captured before the zero-copy transport landed.
+//   BENCH_obs.json     the tracing-overhead matrix: one attack-heavy
+//                      REALTOR run at N=2500 timed with tracing off, with
+//                      the binary flight recorder, and with a JSONL sink
+//                      (min of --obs-reps each). The flight-recorder leg
+//                      is budget-gated: its overhead over the untraced
+//                      leg must stay within --obs-budget (default 5%) —
+//                      the property that makes "always-on" honest. All
+//                      three legs must also produce byte-identical run
+//                      metrics (tracing never changes decisions).
 //
 // Flags (besides everything bench_common.hpp documents):
 //   --kernel-out=PATH   default BENCH_kernel.json
 //   --sweep-out=PATH    default BENCH_sweep.json
 //   --scale-out=PATH    default BENCH_scale.json
-//   --skip-kernel / --skip-sweep / --skip-scale
+//   --obs-out=PATH      default BENCH_obs.json
+//   --skip-kernel / --skip-sweep / --skip-scale / --skip-obs
 //   --min-time=S        minimum seconds per kernel measurement (default 0.4)
 //   --scale-n=25,400,2500,10000   node counts for the scale matrix
 //   --scale-topos=mesh,torus,random
 //   --scale-floods=N    flood budget per cell (default 5000); the metric
 //                       reference only gates the default budget
 //   --scale-print-reference       print fingerprint lines for embedding
+//   --obs-n=N           node count for the overhead matrix (default 2500)
+//   --obs-reps=R        timed repetitions per leg (default 7; min wins;
+//                       legs are interleaved rep by rep so machine noise
+//                       hits all of them alike)
+//   --obs-budget=F      flight-recorder overhead budget (default 0.05)
+//   --obs-duration=T    simulated seconds for the matrix run (default 10)
+//   --obs-wave=K        victims in the matrix's attack wave (default N/50)
+//   --obs-capacity=N    flight-ring capacity for the matrix (default
+//                       kDefaultFlightCapacity)
+//   --obs-cost=MODE     exact (default) | average | fixed4 — unicast cost
+//                       model for the matrix scenario; trace density is
+//                       identical across modes, only baseline work moves
+//   --obs-null          add a do-nothing-sink leg (emission-site floor)
 //
 // Exit status is nonzero when the parallel sweep output differs from the
-// serial output in any byte, or when an N=25 scale cell's metrics diverge
-// from the pre-change reference — CI runs this as a determinism gate (a
-// correctness gate, deliberately not a timing gate).
+// serial output in any byte, when an N=25 scale cell's metrics diverge
+// from the pre-change reference, when a traced obs leg's metrics diverge
+// from the untraced leg (exit 2), or when the flight-recorder overhead
+// exceeds its budget (exit 3) — CI runs this as a determinism gate plus
+// the one timing gate the flight recorder's contract requires.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -49,6 +79,8 @@
 #include "experiment/figures.hpp"
 #include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/jsonl_sink.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -414,6 +446,280 @@ int run_scale(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Tracing-overhead matrix: the flight recorder's ≤ budget contract as a
+// tested property.
+//
+// One attack-heavy REALTOR cell at N=2500 (solicitations, evacuations and
+// migrations on top of the steady task flow) is run three ways: untraced,
+// into a flight ring, and into a JSONL file. Legs are timed --obs-reps
+// times INTERLEAVED (off, flight, jsonl, off, ...) and the per-leg
+// minimum wall clock is kept — on a shared machine a load spike that
+// lands during one leg's block of reps would bias the ratio; round-robin
+// exposes every leg to the same windows. The JSONL leg is reported for
+// scale (it is the expensive alternative the flight recorder exists to
+// avoid) but not gated. A hidden --obs-null leg times a do-nothing sink,
+// isolating what the emission sites themselves cost (event construction
+// plus virtual dispatch) from what the ring adds.
+
+experiment::ScenarioConfig obs_config(const Flags& flags) {
+  experiment::ScenarioConfig c;
+  const NodeId n = static_cast<NodeId>(flags.get_int("obs-n", 2500));
+  c.topology.kind = experiment::TopologyKind::kMesh;
+  c.topology.width = static_cast<NodeId>(std::lround(std::sqrt(double(n))));
+  c.topology.height = c.topology.width;
+  c.protocol_kind = proto::ProtocolKind::kRealtor;
+  c.lambda = 0.2 * static_cast<double>(n);
+  c.duration = flags.get_double("obs-duration", 10.0);
+  c.seed = 42;
+  // Message-cost model: exact per-hop unicast costs (the paper's §5
+  // ablation, which it asserts changes no comparison) are the default —
+  // at this scale they are the physically faithful model, and the run
+  // does the routing work a real deployment pays, which is the baseline
+  // an "always-on overhead" claim should be measured against. The
+  // alternatives keep the trace density identical (the protocol makes
+  // the same decisions; record counts match to the event) but skip the
+  // routing work, compressing the baseline: "average" uses the computed
+  // topology-average path length, "fixed4" pins the 5x5-mesh constant 4
+  // — both useful to expose the recorder's raw per-event cost.
+  const std::string cost = flags.get_string("obs-cost", "exact");
+  if (cost == "fixed4") {
+    c.fixed_unicast_cost = 4.0;
+  } else if (cost == "average") {
+    c.fixed_unicast_cost.reset();
+  } else {
+    c.cost_mode = net::CostMode::kExactHops;
+    c.fixed_unicast_cost.reset();
+  }
+  // No periodic sampler: sampling work only happens when tracing is
+  // active, so it would inflate the traced legs with gauge computation
+  // the untraced leg never performs. The legs must schedule identical
+  // work and differ only in the sink behind the emission sites.
+  // One graced wave mid-run: solicit -> evacuate -> kill -> restore, the
+  // event mix the scorecard consumes.
+  experiment::AttackWave wave;
+  wave.time = 0.4 * c.duration;
+  wave.count = static_cast<std::size_t>(flags.get_int(
+      "obs-wave",
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(n) / 50)));
+  wave.grace = 1.0;
+  wave.outage = 0.3 * c.duration;
+  c.attacks.push_back(wave);
+  return c;
+}
+
+using SinkHandle =
+    std::pair<obs::TraceSink*, std::function<std::uint64_t()>>;
+
+struct ObsLeg {
+  std::string name;
+  /// Builds the leg's sink (nullptr = untraced) fresh for every rep, so
+  /// ring/file state never carries across reps.
+  std::function<SinkHandle()> make_sink;
+  double seconds = 0.0;          // min across reps
+  std::vector<double> rep_seconds;  // one entry per rep, in rep order
+  std::uint64_t records = 0;     // trace records the sink received
+  std::string fingerprint;
+};
+
+/// Times every leg `reps` times, interleaved round-robin. On a shared
+/// machine a load spike that lands during one leg's block of reps would
+/// bias the overhead ratio; cycling off → flight → jsonl each rep exposes
+/// all legs to the same windows, and the per-leg minimum then picks each
+/// leg's quietest one.
+void run_obs_legs(std::vector<ObsLeg>& legs,
+                  const experiment::ScenarioConfig& config, int reps) {
+  for (int rep = 0; rep < reps; ++rep) {
+    // Rotate which leg goes first each round: a load ramp inside one
+    // round would otherwise always hit the same leg of every pair.
+    for (std::size_t k = 0; k < legs.size(); ++k) {
+      ObsLeg& leg =
+          legs[(k + static_cast<std::size_t>(rep)) % legs.size()];
+      auto sink = leg.make_sink();
+      experiment::Simulation sim(config);
+      if (sink.first != nullptr) sim.set_trace_sink(sink.first);
+      const Clock::time_point start = Clock::now();
+      const experiment::RunMetrics& metrics = sim.run();
+      if (sink.first != nullptr) sink.first->flush();
+      const double seconds = seconds_since(start);
+      if (rep == 0 || seconds < leg.seconds) leg.seconds = seconds;
+      leg.rep_seconds.push_back(seconds);
+      leg.records = sink.second != nullptr ? sink.second() : 0;
+      leg.fingerprint = metrics_fingerprint(metrics);
+    }
+  }
+}
+
+/// Overhead of `leg` over `base` from paired per-round ratios. Rep i of
+/// every leg runs back-to-back in the same interleaving round, so each
+/// pair saw nearly the same machine load and the ratio mostly cancels it.
+/// The gate takes the MINIMUM ratio across rounds: external load can only
+/// slow a leg down, so a spuriously high ratio needs a spike landing in
+/// the leg's half of one round — and a spurious budget breach would need
+/// one in every round. A real regression lifts all ratios and still trips
+/// the minimum. The flip side (an off-half spike deflating one round)
+/// makes the gate lenient under noise, which is the right failure mode
+/// for CI on shared runners: it flags regressions larger than the noise
+/// floor instead of flapping on it.
+std::vector<double> paired_ratios(const ObsLeg& leg, const ObsLeg& base) {
+  std::vector<double> ratios;
+  const std::size_t n = std::min(leg.rep_seconds.size(),
+                                 base.rep_seconds.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base.rep_seconds[i] > 0.0) {
+      ratios.push_back(leg.rep_seconds[i] / base.rep_seconds[i]);
+    }
+  }
+  return ratios;
+}
+
+/// The gated overhead: minimum paired ratio (see above).
+double paired_overhead(const ObsLeg& leg, const ObsLeg& base) {
+  const std::vector<double> ratios = paired_ratios(leg, base);
+  if (ratios.empty()) return 0.0;
+  return *std::min_element(ratios.begin(), ratios.end()) - 1.0;
+}
+
+/// Median paired ratio — the "typical round" overhead reported alongside
+/// the gated minimum. Noisier than the gate (a spike in either half of a
+/// round moves it) but unbiased, so it is the number to quote.
+double paired_overhead_median(const ObsLeg& leg, const ObsLeg& base) {
+  std::vector<double> ratios = paired_ratios(leg, base);
+  if (ratios.empty()) return 0.0;
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t mid = ratios.size() / 2;
+  return (ratios.size() % 2 == 1 ? ratios[mid]
+                                 : 0.5 * (ratios[mid - 1] + ratios[mid])) -
+         1.0;
+}
+
+int run_obs(const Flags& flags) {
+  const experiment::ScenarioConfig config = obs_config(flags);
+  const int reps = static_cast<int>(flags.get_int("obs-reps", 7));
+  const double budget = flags.get_double("obs-budget", 0.05);
+  const std::string jsonl_path =
+      flags.get_string("obs-out", "BENCH_obs.json") + ".trace.jsonl";
+
+  std::cout << "obs overhead: n=" << config.topology.width << "x"
+            << config.topology.height << ", duration=" << config.duration
+            << " s, " << reps << " reps per leg\n";
+
+  const std::size_t capacity = static_cast<std::size_t>(flags.get_int(
+      "obs-capacity", static_cast<std::int64_t>(obs::kDefaultFlightCapacity)));
+  // Sinks built fresh per rep; kept alive until the leg's next rep.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::JsonlSink> jsonl;
+
+  struct NullSink final : obs::TraceSink {
+    std::uint64_t seen = 0;
+    void on_event(const obs::TraceEvent&) override { ++seen; }
+  };
+  static NullSink null_sink;
+
+  std::vector<ObsLeg> legs(3);
+  if (flags.get_bool("obs-null", false)) {
+    legs.emplace_back();
+    legs.back().name = "null";
+    legs.back().make_sink = [] {
+      null_sink.seen = 0;
+      return SinkHandle{&null_sink, [] { return null_sink.seen; }};
+    };
+  }
+  legs[0].name = "off";
+  legs[0].make_sink = [] { return SinkHandle{nullptr, nullptr}; };
+  legs[1].name = "flight";
+  legs[1].make_sink = [&recorder, capacity] {
+    recorder = std::make_unique<obs::FlightRecorder>(capacity);
+    obs::FlightRing& ring = recorder->ring(0);
+    return SinkHandle{&ring, [&ring] { return ring.recorded(); }};
+  };
+  legs[2].name = "jsonl";
+  legs[2].make_sink = [&jsonl, &jsonl_path] {
+    jsonl = std::make_unique<obs::JsonlSink>(jsonl_path,
+                                             /*flush_every=*/256);
+    obs::JsonlSink& sink = *jsonl;
+    return SinkHandle{&sink, [&sink] { return sink.lines_written(); }};
+  };
+  run_obs_legs(legs, config, reps);
+  const ObsLeg& off = legs[0];
+  const ObsLeg& flight = legs[1];
+  const ObsLeg& jsonl_leg = legs[2];
+  jsonl.reset();
+  std::remove(jsonl_path.c_str());
+
+  const auto overhead = [&off](const ObsLeg& leg) {
+    return paired_overhead(leg, off);
+  };
+  const double flight_overhead = overhead(flight);
+  const double jsonl_overhead = overhead(jsonl_leg);
+  const bool identical = off.fingerprint == flight.fingerprint &&
+                         off.fingerprint == jsonl_leg.fingerprint;
+  const bool within_budget = flight_overhead <= budget;
+
+  if (legs.size() > 3) {
+    std::cout << "  null: " << legs[3].seconds << " s, overhead "
+              << overhead(legs[3]) * 100.0 << "%\n";
+  }
+  for (const ObsLeg* leg : {&off, &flight, &jsonl_leg}) {
+    std::cout << "  " << leg->name << ": " << leg->seconds << " s";
+    if (leg->records > 0) std::cout << ", " << leg->records << " records";
+    if (leg != &off) {
+      std::cout << ", overhead min " << overhead(*leg) * 100.0
+                << "% / median "
+                << paired_overhead_median(*leg, off) * 100.0 << "%";
+    }
+    std::cout << '\n';
+  }
+  std::cout << "  metrics identical across legs: "
+            << (identical ? "yes" : "NO — tracing changed the run") << '\n'
+            << "  flight budget (" << budget * 100.0 << "%): "
+            << (within_budget ? "ok" : "EXCEEDED") << '\n';
+
+  const std::string path = flags.get_string("obs-out", "BENCH_obs.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << "{\n  \"nodes\": "
+      << static_cast<std::uint64_t>(config.topology.width) *
+             config.topology.height
+      << ",\n  \"duration\": " << config.duration
+      << ",\n  \"cost_model\": \""
+      << (config.cost_mode == net::CostMode::kExactHops
+              ? "exact_hops"
+              : (config.fixed_unicast_cost ? "fixed4" : "average"))
+      << "\",\n  \"reps\": " << reps << ",\n  \"legs\": [\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ObsLeg& leg = legs[i];
+    out << "    {\"name\": \"" << leg.name
+        << "\", \"seconds\": " << leg.seconds
+        << ", \"records\": " << leg.records
+        << ", \"overhead\": " << overhead(leg)
+        << ", \"overhead_median\": " << paired_overhead_median(leg, off)
+        << "}" << (i < 2 ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"flight_overhead\": " << flight_overhead
+      << ",\n  \"flight_overhead_median\": "
+      << paired_overhead_median(flight, off)
+      << ",\n  \"jsonl_overhead\": " << jsonl_overhead
+      << ",\n  \"budget\": " << budget
+      << ",\n  \"within_budget\": " << (within_budget ? "true" : "false")
+      << ",\n  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  std::cout << "obs overhead matrix -> " << path << '\n';
+
+  if (!identical) {
+    std::cerr << "tracing changed run metrics — determinism violation\n";
+    return 2;
+  }
+  if (!within_budget) {
+    std::cerr << "flight-recorder overhead " << flight_overhead * 100.0
+              << "% exceeds the " << budget * 100.0 << "% budget\n";
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,6 +731,10 @@ int main(int argc, char** argv) {
   }
   if (!flags.get_bool("skip-scale", false)) {
     status = run_scale(flags);
+    if (status != 0) return status;
+  }
+  if (!flags.get_bool("skip-obs", false)) {
+    status = run_obs(flags);
     if (status != 0) return status;
   }
   if (!flags.get_bool("skip-sweep", false)) {

@@ -5,10 +5,23 @@
 //
 //   ./agile_cluster_demo [--hosts=20] [--lambda=5] [--duration=60]
 //                        [--loss=0.0] [--compression=0.005]
+//                        [--attack=<time>:<victim>[:<outage>]]
+//                        [--trace=run.jsonl [--trace-flush-every=256]]
+//                        [--flight-recorder[=N] [--flight-out=path]]
+//
+// Tracing: --trace shares one thread-safe JSONL sink across all reactor
+// threads; --flight-recorder gives every host its own binary ring (one
+// source per host in the dump) and dumps on exit, plus right after each
+// --attack kill. Analyze either output with realtor_trace.
+#include <cstdio>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "agile/cluster.hpp"
 #include "common/flags.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/jsonl_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace realtor;
@@ -22,6 +35,69 @@ int main(int argc, char** argv) {
   config.time_compression = flags.get_double("compression", 0.005);
   config.loss_probability = flags.get_double("loss", 0.0);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  // --attack=time:victim[:outage] — driver stops (and optionally
+  // restarts) one host mid-run.
+  const std::string attack = flags.get_string("attack", "");
+  if (!attack.empty()) {
+    agile::ClusterConfig::Attack wave;
+    unsigned victim = 0;
+    if (std::sscanf(attack.c_str(), "%lf:%u:%lf", &wave.time, &victim,
+                    &wave.outage) >= 2) {
+      wave.victim = static_cast<NodeId>(victim);
+      config.attacks.push_back(wave);
+    } else {
+      std::cerr << "bad --attack (want time:victim[:outage]): " << attack
+                << '\n';
+      return 1;
+    }
+  }
+
+  // Tracing: one shared JSONL sink (thread-safe) or per-host flight
+  // rings; a run uses one of them.
+  const std::string trace_path = flags.get_string("trace", "");
+  if (!trace_path.empty() && flags.has("flight-recorder")) {
+    std::cerr << "--trace and --flight-recorder are mutually exclusive\n";
+    return 1;
+  }
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::FlightRecorder> flight;
+  const std::string flight_out =
+      flags.get_string("flight-out", "agile_flight.bin");
+  std::size_t attack_dumps = 0;
+  if (!trace_path.empty()) {
+    jsonl.emplace(trace_path, static_cast<std::size_t>(
+                                  flags.get_int("trace-flush-every", 0)));
+    if (!jsonl->ok()) {
+      std::cerr << "cannot write " << trace_path << '\n';
+      return 1;
+    }
+    config.trace_sink_factory = [&jsonl](NodeId) -> obs::TraceSink* {
+      return &*jsonl;
+    };
+  } else if (flags.has("flight-recorder")) {
+    const std::int64_t n = flags.get_int(
+        "flight-recorder",
+        static_cast<std::int64_t>(obs::kDefaultFlightCapacity));
+    flight.emplace(n > 0 ? static_cast<std::size_t>(n)
+                         : obs::kDefaultFlightCapacity);
+    // Rings are created here in the Cluster constructor (single-threaded);
+    // thread_safe=true because reactor threads write while the driver
+    // dumps on attack.
+    config.trace_sink_factory = [&flight](NodeId id) -> obs::TraceSink* {
+      return &flight->ring(id, /*thread_safe=*/true);
+    };
+    config.on_attack = [&](std::size_t index, SimTime) {
+      const std::string path =
+          flight_out + ".attack" + std::to_string(index) + ".bin";
+      std::string error;
+      if (flight->dump(path, &error)) {
+        ++attack_dumps;
+      } else {
+        std::cerr << error << '\n';
+      }
+    };
+  }
 
   std::cout << "Spinning up " << config.num_hosts
             << " host reactors (queue " << config.queue_capacity
@@ -48,6 +124,26 @@ int main(int argc, char** argv) {
             << "naming service updates  " << m.naming_updates << '\n'
             << "datagrams sent/dropped  " << m.datagrams_sent << "/"
             << m.datagrams_dropped << '\n';
+
+  if (jsonl) {
+    jsonl->flush();
+    std::cout << "trace: " << jsonl->lines_written() << " records -> "
+              << trace_path << '\n';
+  }
+  if (flight) {
+    std::string error;
+    if (!flight->dump(flight_out, &error)) {
+      std::cerr << error << '\n';
+    } else {
+      std::cout << "flight: " << flight->total_recorded() << " records in "
+                << flight->ring_count() << " rings ("
+                << flight->total_dropped() << " overwritten";
+      if (attack_dumps > 0) {
+        std::cout << ", " << attack_dumps << " attack dumps";
+      }
+      std::cout << ") -> " << flight_out << '\n';
+    }
+  }
 
   std::cout << "\nTry --loss=0.2 to watch the soft-state protocol shrug off "
                "a lossy network,\nor --lambda=9 to push the cluster into "

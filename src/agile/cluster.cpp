@@ -47,6 +47,13 @@ Cluster::Cluster(const ClusterConfig& config)
     host_config.network_delay = config_.network_delay;
     host_config.speculative_migration = config_.speculative_migration;
     host_config.episodes = &episodes_;
+    if (config_.trace_sink_factory) {
+      if (obs::TraceSink* sink = config_.trace_sink_factory(id)) {
+        tracers_.push_back(std::make_unique<obs::Tracer>());
+        tracers_.back()->set_sink(sink);
+        host_config.tracer = tracers_.back().get();
+      }
+    }
     hosts_.push_back(std::make_unique<HostRuntime>(
         host_config, clock_, network_, naming_, resolver));
   }
@@ -101,6 +108,9 @@ ClusterMetrics Cluster::run() {
       std::this_thread::sleep_until(clock_.wall_at(event.time));
       if (event.kill) {
         hosts_[event.victim]->stop();
+        if (config_.on_attack) {
+          config_.on_attack(static_cast<std::size_t>(killed), event.time);
+        }
         ++killed;
       } else {
         hosts_[event.victim]->restart();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,20 @@ struct ClusterConfig {
     SimTime outage = 0.0;
   };
   std::vector<Attack> attacks;
+
+  /// Per-host trace sink factory. Called once per host at construction;
+  /// the returned sink is borrowed (must outlive the cluster) and receives
+  /// that host's events from its reactor thread — a flight-recorder ring
+  /// per host, or one shared thread-safe JsonlSink returned for every id.
+  /// nullptr results are fine (that host stays untraced); unset (default)
+  /// disables tracing entirely.
+  std::function<obs::TraceSink*(NodeId)> trace_sink_factory;
+
+  /// Driver hook fired right after each attack kill lands, before the
+  /// next injection — the demo uses it to dump flight rings while the
+  /// pre-attack window is still in memory. attack_index counts kills in
+  /// schedule order.
+  std::function<void(std::size_t attack_index, SimTime time)> on_attack;
 };
 
 struct ClusterMetrics {
@@ -112,6 +127,9 @@ class Cluster {
   DatagramNetwork network_;
   NamingService naming_;
   obs::EpisodeSource episodes_;
+  /// One tracer per host (stable addresses: HostConfig borrows them),
+  /// each pointing at the factory-provided sink. Empty when untraced.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers_;
   std::vector<std::unique_ptr<HostRuntime>> hosts_;
   bool ran_ = false;
 };

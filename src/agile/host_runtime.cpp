@@ -148,6 +148,11 @@ void HostRuntime::process_due(SimTime now) {
     // jitter must not be charged as a miss.
     if (done.time > done.deadline + 1e-9) {
       stats_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+      if (tracing()) {
+        trace(trace_event(obs::EventKind::kDeadlineMiss)
+                  .with("task", done.task)
+                  .with("lateness", done.time - done.deadline));
+      }
     }
     naming_.unregister(done.task);
     if (tracing()) {
@@ -449,7 +454,7 @@ void HostRuntime::handle_pledge(const proto::PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now))
+              .with("list_size", pledge_list_.held())
               .with("episode", pledge.episode));
   }
   if (uses_algo_h &&

@@ -157,6 +157,19 @@ void SimTransport::unicast(NodeId from, NodeId to, const proto::Message& msg) {
   if (topology_.alive(from) && topology_.alive(to) && !paths_.connected() &&
       !paths_.reachable(from, to)) {
     ++dropped_unreachable_;
+    if (tracer_ != nullptr && tracer_->active()) {
+      obs::TraceEvent event(engine_.now(), from,
+                            obs::EventKind::kUnreachableDrop);
+      event.with("to", to).with("msg", net::to_string(kind_of(msg)));
+      // HELP and PLEDGE carry the discovery-episode id; attribute the
+      // drop so the scorecard can charge it to the right episode.
+      if (const auto* help = std::get_if<proto::HelpMsg>(&msg)) {
+        event.with("episode", help->episode);
+      } else if (const auto* pledge = std::get_if<proto::PledgeMsg>(&msg)) {
+        event.with("episode", pledge->episode);
+      }
+      tracer_->emit(event);
+    }
     return;
   }
   deliver_later(to, from, proto::Message(msg),

@@ -25,6 +25,7 @@
 #include "net/message_ledger.hpp"
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "proto/transport.hpp"
 #include "sim/engine.hpp"
 
@@ -78,6 +79,11 @@ class SimTransport final : public proto::Transport {
   /// counts the send attempt).
   std::uint64_t dropped_unreachable() const { return dropped_unreachable_; }
 
+  /// Borrowed tracer for unreachable_drop records (the scorecard's
+  /// per-episode drop attribution); nullptr (default) stays silent.
+  /// Tracing never changes delivery decisions.
+  void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   static net::MessageKind kind_of(const proto::Message& msg);
 
@@ -125,6 +131,7 @@ class SimTransport final : public proto::Transport {
   SimTime delay_;
   Deliver deliver_;
   const federation::GroupMap* groups_ = nullptr;
+  const obs::Tracer* tracer_ = nullptr;
   DeliveryMode mode_ = DeliveryMode::kAuto;
   std::uint64_t payload_allocations_ = 0;
   std::uint64_t dropped_unreachable_ = 0;

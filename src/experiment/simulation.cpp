@@ -62,6 +62,7 @@ Simulation::Simulation(const ScenarioConfig& config)
   if (config_.approx_path_stats) {
     cost_model_.set_approx_path_stats(true);
   }
+  transport_.set_tracer(&tracer_);
   const NodeId n = topology_.num_nodes();
   hosts_.reserve(n);
   protocols_.reserve(n);
@@ -345,6 +346,7 @@ void Simulation::on_liveness_change(NodeId nodeid, bool alive) {
 }
 
 void Simulation::schedule_attacks() {
+  std::size_t wave_index = 0;
   for (const AttackWave& wave : config_.attacks) {
     REALTOR_ASSERT(wave.count <= topology_.num_nodes());
     // Victims are drawn up-front from the full population — the attacker
@@ -377,6 +379,18 @@ void Simulation::schedule_attacks() {
         injector_.schedule_restore(victim, kill_time + wave.outage);
       }
     }
+    // The wave listener (flight-recorder dump-on-attack) fires after the
+    // kills land: kills are scheduled above with earlier sequence numbers
+    // at the same timestamp, so the FIFO tie-break runs them first and the
+    // listener sees the post-attack state. Scheduled only when a listener
+    // is attached, so untraced runs stay event-for-event identical.
+    if (attack_wave_listener_) {
+      const std::size_t index = wave_index;
+      engine_.schedule_at(kill_time, [this, index, kill_time] {
+        attack_wave_listener_(index, kill_time);
+      });
+    }
+    ++wave_index;
   }
 }
 

@@ -75,6 +75,17 @@ class Simulation {
   /// seed is event-for-event identical to the untraced run.
   void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
 
+  /// Called right after each attack wave's kills land (same timestamp,
+  /// later FIFO order) with the wave index and kill time. The flight
+  /// recorder hooks this to snapshot its rings while the pre-attack
+  /// window is still in memory. Set before run(); unset (default) adds
+  /// no events to the schedule.
+  using AttackWaveListener =
+      std::function<void(std::size_t wave, SimTime kill_time)>;
+  void set_attack_wave_listener(AttackWaveListener listener) {
+    attack_wave_listener_ = std::move(listener);
+  }
+
   obs::Tracer& tracer() { return tracer_; }
   /// Discovery-episode ids handed out so far (shared across all protocol
   /// instances of this run; see obs::EpisodeSource).
@@ -128,6 +139,7 @@ class Simulation {
   net::FailureInjector injector_;
   RngStream attack_rng_;
   RngStream multires_rng_;
+  AttackWaveListener attack_wave_listener_;
   std::vector<TimelineSample> timeline_;
   obs::Tracer tracer_;
   obs::EpisodeSource episodes_;

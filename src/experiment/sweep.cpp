@@ -1,10 +1,15 @@
 #include "experiment/sweep.hpp"
 
+#include <iostream>
+#include <sstream>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "common/table.hpp"
 #include "experiment/simulation.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "proto/factory.hpp"
 
 namespace realtor::experiment {
 
@@ -133,6 +138,36 @@ SweepOptions paper_sweep_options(std::vector<double> lambdas,
       proto::ProtocolKind::kRealtor};
   options.replications = replications;
   return options;
+}
+
+RunSinkFactory make_run_sink_factory(RunSinkOptions options) {
+  REALTOR_ASSERT_MSG(
+      options.jsonl_prefix.empty() || options.flight_prefix.empty(),
+      "a sweep run gets one sink: JSONL or flight recorder, not both");
+  if (options.jsonl_prefix.empty() && options.flight_prefix.empty()) {
+    return {};
+  }
+  return [options = std::move(options)](
+             proto::ProtocolKind kind, double lambda,
+             std::uint32_t rep) -> std::unique_ptr<obs::TraceSink> {
+    const bool flight = !options.flight_prefix.empty();
+    std::ostringstream name;
+    name << (flight ? options.flight_prefix : options.jsonl_prefix) << '.'
+         << proto::to_string(kind) << ".lambda" << format_double(lambda, 3)
+         << ".rep" << rep << (flight ? ".bin" : ".jsonl");
+    if (flight) {
+      // Dumps on flush (run_one flushes after the run) or destruction.
+      return std::make_unique<obs::FlightDumpSink>(name.str(),
+                                                   options.flight_capacity);
+    }
+    auto sink = std::make_unique<obs::JsonlSink>(name.str(),
+                                                 options.jsonl_flush_every);
+    if (!sink->ok()) {
+      std::cerr << "cannot write " << name.str() << '\n';
+      return nullptr;
+    }
+    return sink;
+  };
 }
 
 }  // namespace realtor::experiment

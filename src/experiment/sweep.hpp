@@ -21,6 +21,7 @@
 #include "common/stats.hpp"
 #include "experiment/metrics.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace realtor::experiment {
@@ -73,5 +74,31 @@ std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
 /// Convenience: sweep all five paper protocols at the given lambdas.
 SweepOptions paper_sweep_options(std::vector<double> lambdas,
                                  std::uint32_t replications);
+
+/// Shape of SweepOptions::make_trace_sink, exposed so the shared factory
+/// below can be passed around by the CLI and the benches.
+using RunSinkFactory = std::function<std::unique_ptr<obs::TraceSink>(
+    proto::ProtocolKind kind, double lambda, std::uint32_t rep)>;
+
+/// What make_run_sink_factory() should build per run. At most one of the
+/// prefixes may be non-empty (a run gets one sink).
+struct RunSinkOptions {
+  /// JSONL: one file per run named prefix.<proto>.lambda<L>.rep<R>.jsonl.
+  std::string jsonl_prefix;
+  /// JsonlSink batching (0 = write-through; see JsonlSink's guarantee).
+  std::size_t jsonl_flush_every = 0;
+  /// Flight recorder: one binary ring per run, dumped to
+  /// prefix.<proto>.lambda<L>.rep<R>.bin when run_one flushes the sink.
+  std::string flight_prefix;
+  /// Ring capacity in records for flight sinks.
+  std::size_t flight_capacity = obs::kDefaultFlightCapacity;
+};
+
+/// The per-run sink factory shared by realtor_sim --sweep and the bench
+/// harness: builds a JsonlSink or FlightDumpSink per (protocol, lambda,
+/// replication) run, suffix-named so parallel workers never share a file.
+/// Both prefixes empty -> an empty function (sweep runs untraced). A file
+/// that cannot be opened is reported to stderr and that run is untraced.
+RunSinkFactory make_run_sink_factory(RunSinkOptions options);
 
 }  // namespace realtor::experiment

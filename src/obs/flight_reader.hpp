@@ -1,0 +1,42 @@
+// Reader for flight-recorder dumps (see flight_recorder.hpp for the
+// format). Converts the packed rings back into the exact event model the
+// JSONL reader produces — a std::vector<ParsedEvent> — so every consumer
+// of JSONL traces (realtor_trace modes, the span builder, the invariant
+// checker, the scorecard) runs unchanged on binary dumps.
+//
+// Semantics match a JSONL round trip field for field: uints come back as
+// JSON numbers, non-finite doubles come back as the quoted strings the
+// sink would have written ("nan"/"inf"/"-inf"), node 0xFFFFFFFF reads as
+// the omitted-node sentinel kInvalidNode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace realtor::obs {
+
+struct FlightDump {
+  std::vector<std::string> names;
+  std::vector<FlightRingInfo> rings;
+  /// All rings' records merged into one stream, sorted by time (stable:
+  /// ties keep ring order, and within a ring the recorded order). For the
+  /// single-ring simulation dumps this is exactly emission order.
+  std::vector<ParsedEvent> events;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+};
+
+/// True when the file starts with the flight-recorder magic — how
+/// realtor_trace auto-detects binary dumps next to JSONL traces.
+bool is_flight_file(const std::string& path);
+
+/// Loads a dump; false with a reason in `error` on unreadable or
+/// malformed input (bad magic, truncated table or ring, unknown kind).
+bool load_flight_file(const std::string& path, FlightDump& out,
+                      std::string* error = nullptr);
+
+}  // namespace realtor::obs

@@ -1,0 +1,219 @@
+#include "obs/flight_recorder.hpp"
+
+#include <bit>
+#include <cstddef>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace realtor::obs {
+
+std::uint16_t NameTable::intern(const char* text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  REALTOR_ASSERT_MSG(names_.size() < 0xFFFF, "flight name table overflow");
+  const auto id = static_cast<std::uint16_t>(names_.size());
+  names_.emplace_back(text != nullptr ? text : "");
+  ids_.emplace(text, id);
+  return id;
+}
+
+std::vector<std::string> NameTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_;
+}
+
+FlightRing::FlightRing(std::uint64_t source, std::size_t capacity,
+                       NameTable& names, bool thread_safe)
+    : source_(source),
+      names_(names),
+      slots_(capacity == 0 ? 1 : capacity),
+      thread_safe_(thread_safe) {}
+
+namespace {
+
+// The entire hot path: copy the event header plus only the fields it
+// carries into the slot. Two compile-time sizes (≤3 fields covers nearly
+// every emission site) so the copies inline to straight wide moves — a
+// runtime-length memcpy would cost a libc dispatch per event. Bytes past
+// the copy keep a previous occupant's data; snapshot() never reads past
+// field_count.
+inline void copy_event(const TraceEvent& event, TraceEvent& slot) {
+  constexpr std::size_t kSmall =
+      offsetof(TraceEvent, fields) + 3 * sizeof(TraceField);
+  if (event.field_count <= 3) {
+    std::memcpy(static_cast<void*>(&slot), &event, kSmall);
+  } else {
+    std::memcpy(static_cast<void*>(&slot), &event, sizeof(TraceEvent));
+  }
+}
+
+}  // namespace
+
+void FlightRing::on_event(const TraceEvent& event) {
+  // cursor_ == head_ mod capacity, maintained by wrapping instead of the
+  // u64 division a `head % size` would cost on every event.
+  if (thread_safe_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy_event(event, slots_[cursor_]);
+    if (++cursor_ == slots_.size()) cursor_ = 0;
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    return;
+  }
+  copy_event(event, slots_[cursor_]);
+  if (++cursor_ == slots_.size()) cursor_ = 0;
+  head_.store(head_.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+}
+
+void FlightRing::pack(const TraceEvent& event, FlightRecord& out) const {
+  out.time = event.time;
+  out.node = event.node;
+  out.kind = static_cast<std::uint8_t>(event.kind);
+  out.field_count = static_cast<std::uint8_t>(event.field_count);
+  for (std::uint32_t i = 0; i < event.field_count; ++i) {
+    const TraceField& field = event.fields[i];
+    FlightField& packed = out.fields[i];
+    packed.key = names_.intern(field.key);
+    packed.type = static_cast<std::uint8_t>(field.type);
+    switch (field.type) {
+      case TraceField::Type::kUint:
+        packed.bits = field.u;
+        // Lift the episode id into the header for cheap episode scans;
+        // the payload keeps the field so round trips stay exact.
+        if (field.key != nullptr && field.key[0] == 'e' &&
+            std::strcmp(field.key, "episode") == 0) {
+          out.episode = field.u;
+        }
+        break;
+      case TraceField::Type::kDouble:
+        packed.bits = std::bit_cast<std::uint64_t>(field.d);
+        break;
+      case TraceField::Type::kString:
+        packed.bits = names_.intern(field.s != nullptr ? field.s : "");
+        break;
+      case TraceField::Type::kBool:
+        packed.bits = field.b ? 1 : 0;
+        break;
+      case TraceField::Type::kNone:
+        packed.bits = 0;
+        break;
+    }
+  }
+}
+
+FlightRingInfo FlightRing::snapshot(std::vector<FlightRecord>& out) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (thread_safe_) lock.lock();
+  FlightRingInfo info;
+  info.source = source_;
+  info.recorded = head_.load(std::memory_order_relaxed);
+  const std::uint64_t capacity = slots_.size();
+  info.stored = info.recorded < capacity ? info.recorded : capacity;
+  info.dropped = info.recorded - info.stored;
+  out.clear();
+  out.reserve(info.stored);
+  for (std::uint64_t i = info.recorded - info.stored; i < info.recorded;
+       ++i) {
+    // Value-initialized record: unused field slots and padding come out
+    // zero, so dumps of identical runs stay byte-identical and never leak
+    // a previous slot occupant's bytes.
+    FlightRecord record{};
+    pack(slots_[i % capacity], record);
+    out.push_back(record);
+  }
+  return info;
+}
+
+FlightRing& FlightRecorder::ring(std::uint64_t source, bool thread_safe) {
+  for (const auto& ring : rings_) {
+    if (ring->source() == source) return *ring;
+  }
+  rings_.push_back(std::make_unique<FlightRing>(source, capacity_, names_,
+                                                thread_safe));
+  return *rings_.back();
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->recorded();
+  return total;
+}
+
+std::uint64_t FlightRecorder::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+namespace {
+
+template <typename T>
+void write_pod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out.append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+bool FlightRecorder::dump(const std::string& path, std::string* error) const {
+  // Serialize into memory first so a mid-flight dump (attack trigger)
+  // costs one buffered write, then swap the file in atomically enough for
+  // our single-process uses (plain truncate + write).
+  // Snapshot every ring BEFORE serializing the name table: packing is
+  // what interns keys, so the table is only complete afterwards.
+  std::vector<FlightRingInfo> infos(rings_.size());
+  std::vector<std::vector<FlightRecord>> records(rings_.size());
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    infos[i] = rings_[i]->snapshot(records[i]);
+  }
+
+  std::string buffer;
+  buffer.append(kFlightMagic, sizeof(kFlightMagic));
+
+  const std::vector<std::string> names = names_.snapshot();
+  write_pod(buffer, static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    REALTOR_ASSERT_MSG(name.size() <= 0xFFFF, "flight name too long");
+    write_pod(buffer, static_cast<std::uint16_t>(name.size()));
+    buffer.append(name);
+  }
+
+  write_pod(buffer, static_cast<std::uint32_t>(rings_.size()));
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    write_pod(buffer, infos[i]);
+    for (const FlightRecord& record : records[i]) {
+      write_pod(buffer, record);
+    }
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(buffer.data(), 1, buffer.size(), file);
+  const bool ok = written == buffer.size() && std::fclose(file) == 0;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+FlightDumpSink::FlightDumpSink(std::string path, std::size_t capacity)
+    : path_(std::move(path)), recorder_(capacity) {
+  recorder_.ring(0);  // create up front: on_event must not mutate rings_
+}
+
+void FlightDumpSink::flush() {
+  dumped_ = true;
+  recorder_.dump(path_);
+}
+
+FlightDumpSink::~FlightDumpSink() {
+  if (!dumped_) recorder_.dump(path_);
+}
+
+}  // namespace realtor::obs

@@ -98,22 +98,44 @@ std::string format_jsonl(const TraceEvent& event) {
   return line;
 }
 
-JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+JsonlSink::JsonlSink(std::ostream& out, std::size_t flush_every)
+    : out_(&out), flush_every_(flush_every) {}
 
-JsonlSink::JsonlSink(const std::string& path) : file_(path) {
+JsonlSink::JsonlSink(const std::string& path, std::size_t flush_every)
+    : file_(path), flush_every_(flush_every) {
   if (file_.is_open()) out_ = &file_;
+}
+
+JsonlSink::~JsonlSink() {
+  if (out_ != nullptr) flush();
+}
+
+void JsonlSink::drain_locked() {
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(),
+                static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  pending_ = 0;
+  out_->flush();
 }
 
 void JsonlSink::on_event(const TraceEvent& event) {
   const std::string line = format_jsonl(event);
   std::lock_guard<std::mutex> lock(mutex_);
-  *out_ << line << '\n';
   ++lines_;
+  if (flush_every_ == 0) {
+    *out_ << line << '\n';
+    return;
+  }
+  buffer_ += line;
+  buffer_ += '\n';
+  if (++pending_ >= flush_every_) drain_locked();
 }
 
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
-  out_->flush();
+  drain_locked();
 }
 
 }  // namespace realtor::obs

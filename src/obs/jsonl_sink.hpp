@@ -24,12 +24,23 @@ void append_json_escaped(std::string& out, std::string_view text);
 /// The sink's line format without the trailing newline; exposed for tests.
 std::string format_jsonl(const TraceEvent& event);
 
+/// Flush guarantee: events appear in the output in emission order in
+/// every mode. With flush_every == 0 (the default) each event is written
+/// to the stream as it arrives. With flush_every == K > 0 lines are
+/// batched in memory and written + flushed once K events accumulate —
+/// one syscall-ish write per K events instead of per event. flush() (and
+/// the destructor) always drains the batch, so after either returns every
+/// emitted event is in the stream; between batch flushes up to K-1 events
+/// may be buffered and would be lost on a crash. Ordering is protected by
+/// the same mutex in both modes, so the threaded Agile runtime can share
+/// one buffered sink.
 class JsonlSink final : public TraceSink {
  public:
   /// Writes to a borrowed stream (tests, stdout piping).
-  explicit JsonlSink(std::ostream& out);
+  explicit JsonlSink(std::ostream& out, std::size_t flush_every = 0);
   /// Opens `path` for writing; check ok() before use.
-  explicit JsonlSink(const std::string& path);
+  explicit JsonlSink(const std::string& path, std::size_t flush_every = 0);
+  ~JsonlSink() override;
 
   /// False when the file constructor failed to open the path.
   bool ok() const { return out_ != nullptr && out_->good(); }
@@ -38,12 +49,18 @@ class JsonlSink final : public TraceSink {
   void flush() override;
 
   std::uint64_t lines_written() const { return lines_; }
+  std::size_t flush_every() const { return flush_every_; }
 
  private:
+  void drain_locked();  // writes + flushes the pending batch
+
   std::ofstream file_;
   std::ostream* out_ = nullptr;
   std::mutex mutex_;
   std::uint64_t lines_ = 0;
+  std::size_t flush_every_ = 0;
+  std::size_t pending_ = 0;
+  std::string buffer_;
 };
 
 }  // namespace realtor::obs

@@ -119,6 +119,22 @@ std::vector<Episode> build_episodes(const std::vector<SpanEvent>& events) {
         break;
       case EventKind::kMigrationAttempt:
         ++episode.migration_attempts;
+        if (episode.first_attempt_time < 0.0) {
+          episode.first_attempt_time = event.time;
+        }
+        break;
+      case EventKind::kTaskAdmitMigrated:
+        // Duplicates migration_success for counting, but carries the
+        // admission-decision timestamp the stage breakdown needs.
+        if (episode.first_admission_time < 0.0) {
+          episode.first_admission_time = event.time;
+        }
+        break;
+      case EventKind::kDeadlineMiss:
+        ++episode.deadline_misses;
+        break;
+      case EventKind::kUnreachableDrop:
+        ++episode.unreachable_drops;
         break;
       case EventKind::kMigrationAbort:
         ++episode.migration_aborts;
@@ -134,7 +150,7 @@ std::vector<Episode> build_episodes(const std::vector<SpanEvent>& events) {
         ++episode.rejections;
         break;
       default:
-        break;  // task_admit_migrated duplicates migration_success
+        break;
     }
   }
   std::vector<Episode> out;

@@ -77,6 +77,14 @@ struct Episode {
   std::uint64_t migration_attempts = 0;
   std::uint64_t migration_aborts = 0;
   std::uint64_t migrations = 0;
+  /// First migration_attempt stamped with this episode; negative = none.
+  SimTime first_attempt_time = -1.0;
+  /// First task_admit_migrated stamped with this episode (the admission
+  /// decision that consumed the episode's pledges); negative = none.
+  SimTime first_admission_time = -1.0;
+  /// deadline_miss / unreachable_drop records stamped with this episode.
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t unreachable_drops = 0;
   SimTime first_migration_time = -1.0;
   NodeId first_migration_target = kInvalidNode;
   std::uint64_t rejections = 0;  // task_rejected stamped with this episode
@@ -90,6 +98,8 @@ struct Episode {
   SimTime time_to_migration() const {
     return first_migration_time - start_time;
   }
+  bool has_attempt() const { return first_attempt_time >= 0.0; }
+  bool has_admission() const { return first_admission_time >= 0.0; }
 };
 
 /// Groups episode-stamped events by id, ascending. Events with episode 0

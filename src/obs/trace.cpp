@@ -52,6 +52,10 @@ const char* to_string(EventKind kind) {
       return "evacuation";
     case EventKind::kEscalation:
       return "escalation";
+    case EventKind::kDeadlineMiss:
+      return "deadline_miss";
+    case EventKind::kUnreachableDrop:
+      return "unreachable_drop";
     case EventKind::kEngineStep:
       return "engine_step";
     case EventKind::kNodeSample:

@@ -75,7 +75,9 @@ enum class EventKind : std::uint8_t {
   kNodeKilled,
   kNodeRestored,
   kEvacuation,
-  kEscalation,  // inter-group solicitation (federation runs)
+  kEscalation,     // inter-group solicitation (federation runs)
+  kDeadlineMiss,   // EDF completion landed past its CUS deadline (agile)
+  kUnreachableDrop,  // unicast died at a partition edge (record-and-drop)
   // Engine / sampler records.
   kEngineStep,    // sampled every N processed events
   kNodeSample,    // periodic per-node occupancy/utilization/soft-state
@@ -94,16 +96,27 @@ inline constexpr std::size_t kMaxTraceFields = 8;
 /// One typed key/value payload entry. Keys and string values must point to
 /// storage that outlives the sink's use of the event (string literals, or
 /// registry-owned names for metric samples).
+///
+/// Deliberately uninitialized: fields live in TraceEvent's fixed array and
+/// only entries [0, field_count) are ever written or read, so default
+/// construction must not cost a 320-byte clear at every emission site.
+/// The value members share storage — with() writes exactly one of them and
+/// readers dispatch on `type` to touch only the matching member, so the
+/// union keeps every contract while making the field (and therefore the
+/// flight recorder's per-event copy) 24 bytes instead of 40.
 struct TraceField {
   enum class Type : std::uint8_t { kNone = 0, kUint, kDouble, kString, kBool };
 
-  const char* key = nullptr;
-  Type type = Type::kNone;
-  std::uint64_t u = 0;
-  double d = 0.0;
-  const char* s = nullptr;
-  bool b = false;
+  const char* key;
+  Type type;
+  union {
+    std::uint64_t u;
+    double d;
+    const char* s;
+    bool b;
+  };
 };
+static_assert(sizeof(TraceField) == 24);
 
 /// A trace record: when, where, what, plus a bounded payload. Build with
 /// the fluent with() calls; excess fields beyond kMaxTraceFields abort
@@ -114,7 +127,8 @@ struct TraceEvent {
   NodeId node = kInvalidNode;
   EventKind kind = EventKind::kCount;
   std::uint32_t field_count = 0;
-  std::array<TraceField, kMaxTraceFields> fields{};
+  /// Entries past field_count are uninitialized — see TraceField.
+  std::array<TraceField, kMaxTraceFields> fields;
 
   TraceEvent() = default;
   TraceEvent(SimTime t, NodeId n, EventKind k) : time(t), node(n), kind(k) {}

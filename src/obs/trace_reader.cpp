@@ -210,4 +210,35 @@ bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
   return true;
 }
 
+bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
+                     TraceLoadStats& stats, std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out.clear();
+  stats = TraceLoadStats{};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ++stats.lines;
+    ParsedEvent event;
+    std::string line_error;
+    if (!parse_jsonl_line(line, event, &line_error)) {
+      ++stats.malformed;
+      if (stats.first_malformed_line == 0) {
+        stats.first_malformed_line = lineno;
+        stats.first_error = std::move(line_error);
+      }
+      continue;
+    }
+    ++stats.events;
+    out.push_back(std::move(event));
+  }
+  return true;
+}
+
 }  // namespace realtor::obs

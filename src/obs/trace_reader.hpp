@@ -47,4 +47,21 @@ bool parse_jsonl_line(std::string_view line, ParsedEvent& out,
 bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
                      std::string* error = nullptr);
 
+/// What tolerant loading saw: non-empty lines that failed to parse are
+/// skipped but counted, never silently dropped — realtor_trace reports
+/// the count and --check fails when it is nonzero.
+struct TraceLoadStats {
+  std::size_t lines = 0;      // non-empty lines seen
+  std::size_t events = 0;     // lines parsed into events
+  std::size_t malformed = 0;  // lines skipped (lines - events)
+  std::size_t first_malformed_line = 0;  // 1-based; 0 = none
+  std::string first_error;
+};
+
+/// Tolerant variant: malformed lines are counted in `stats` and skipped
+/// instead of aborting the load. Returns false only when the path cannot
+/// be read.
+bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
+                     TraceLoadStats& stats, std::string* error = nullptr);
+
 }  // namespace realtor::obs

@@ -57,8 +57,14 @@ class PledgeList {
   bool contains(NodeId node) const { return entries_.count(node) > 0; }
   std::optional<PledgeEntry> get(NodeId node) const;
 
-  /// Live entries at `now`, including unusable ones.
+  /// Live entries at `now`, including unusable ones. O(entries): walks
+  /// the map checking TTLs — analysis/test use, not per-event paths.
   std::size_t size(SimTime now) const;
+
+  /// Entries held, counting stale ones not yet expired (expiry is lazy).
+  /// O(1) — this is the form trace emission sites report, so tracing a
+  /// pledge flood stays constant-cost per event.
+  std::size_t held() const { return entries_.size(); }
 
   /// Usable candidates matching `query`, best availability first; ties
   /// broken by `rng` so organizers do not all herd onto the same pledger.

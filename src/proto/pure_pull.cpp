@@ -90,7 +90,7 @@ void PurePullProtocol::handle_pledge(const PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now()))
+              .with("list_size", pledge_list_.held())
               .with("episode", pledge.episode));
   }
 }

@@ -156,7 +156,7 @@ void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
-              .with("list_size", pledge_list_.size(now()))
+              .with("list_size", pledge_list_.held())
               .with("episode", pledge.episode));
   }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&

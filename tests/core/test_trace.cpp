@@ -180,6 +180,69 @@ TEST(TraceReader, LoadsFileAndReportsBadLineNumber) {
   std::remove(path.c_str());
 }
 
+TEST(TraceReader, TolerantLoadCountsMalformedLinesInsteadOfAborting) {
+  const std::string path =
+      ::testing::TempDir() + "realtor_trace_tolerant_test.jsonl";
+  {
+    std::ofstream out(path);
+    out << format_jsonl(TraceEvent(1.0, 0, EventKind::kHelpSent)) << '\n';
+    out << "{truncated mid-write\n";  // e.g. a crash cut the line short
+    out << format_jsonl(TraceEvent(2.0, 1, EventKind::kPledgeSent)) << '\n';
+    out << "also not json\n";
+  }
+  std::vector<ParsedEvent> events;
+  TraceLoadStats stats;
+  std::string error;
+  ASSERT_TRUE(load_trace_file(path, events, stats, &error)) << error;
+  // Every parsable event survives; nothing is silently dropped.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, "pledge_sent");
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.malformed, 2u);
+  EXPECT_EQ(stats.first_malformed_line, 2u);
+  EXPECT_FALSE(stats.first_error.empty());
+  std::remove(path.c_str());
+
+  // Only an unreadable path fails the tolerant variant.
+  EXPECT_FALSE(load_trace_file(path, events, stats, &error));
+}
+
+TEST(JsonlSink, BufferedModeKeepsOrderAndFlushDrains) {
+  // Write the same events through a write-through sink and a buffered
+  // one: the flush guarantee says the outputs are identical after
+  // flush(), batching only changes when bytes move.
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event(static_cast<double>(i), static_cast<NodeId>(i % 3),
+                     EventKind::kGossipRound);
+    event.with("seq", i);
+    events.push_back(event);
+  }
+
+  std::ostringstream direct_out;
+  JsonlSink direct(direct_out);
+  for (const TraceEvent& event : events) direct.on_event(event);
+
+  std::ostringstream buffered_out;
+  JsonlSink buffered(buffered_out, /*flush_every=*/4);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    buffered.on_event(events[i]);
+    if (i == 2) {
+      // Not yet a full batch: nothing has reached the stream.
+      EXPECT_TRUE(buffered_out.str().empty());
+    }
+    if (i == 4) {
+      // One full batch (4 lines) drained; the 5th is still pending.
+      const std::string drained = buffered_out.str();
+      EXPECT_EQ(std::count(drained.begin(), drained.end(), '\n'), 4);
+    }
+  }
+  EXPECT_EQ(buffered.lines_written(), 10u);
+  buffered.flush();  // drains the partial tail batch
+  EXPECT_EQ(buffered_out.str(), direct_out.str());
+}
+
 TEST(MetricsRegistry, FindOrCreateKeepsReferencesStable) {
   Registry registry;
   Counter& admitted = registry.counter("tasks.admitted");

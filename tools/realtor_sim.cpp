@@ -13,6 +13,15 @@
 //   realtor_sim --trace-in=w.csv           # replay it
 //   realtor_sim --trace=run.jsonl          # structured event trace (JSONL;
 //                                          # analyze with realtor_trace)
+//   realtor_sim --trace=run.jsonl --trace-flush-every=256
+//                                          # batch JSONL writes (K lines
+//                                          # per flush; 0 = write-through)
+//   realtor_sim --flight-recorder          # binary flight recorder, ring
+//                                          # of 65536 records per source
+//   realtor_sim --flight-recorder=4096 --flight-out=run.bin
+//                                          # smaller ring, explicit dump
+//                                          # path; attack waves also dump
+//                                          # run.bin.attack<k>.bin
 //   realtor_sim --sweep=1,2,4,8 --reps=5   # protocol comparison sweep
 //   realtor_sim --sweep=2,8 --jobs=4       # sweep on 4 worker threads
 //                                          # (byte-identical output; 0 =
@@ -35,6 +44,7 @@
 #include "experiment/report.hpp"
 #include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "proto/factory.hpp"
 #include "trace/workload_csv.hpp"
@@ -42,6 +52,15 @@
 namespace {
 
 using namespace realtor;
+
+/// Ring capacity for --flight-recorder[=N]: a bare flag stores "true",
+/// which get_int maps to the fallback — the default capacity.
+std::size_t flight_capacity_from(const Flags& flags) {
+  const std::int64_t n = flags.get_int(
+      "flight-recorder",
+      static_cast<std::int64_t>(obs::kDefaultFlightCapacity));
+  return n > 0 ? static_cast<std::size_t>(n) : obs::kDefaultFlightCapacity;
+}
 
 int run_single(const Flags& flags) {
   experiment::ScenarioConfig config =
@@ -51,22 +70,70 @@ int run_single(const Flags& flags) {
   const std::string trace_out = flags.get_string("trace-out", "");
 
   // Structured event trace (distinct from the workload CSV trace-in/out).
+  // JSONL (--trace) and the binary flight recorder (--flight-recorder)
+  // feed the same instrumented sites; a run uses one sink, not both.
   const std::string trace_path = flags.get_string("trace", "");
+  if (!trace_path.empty() && flags.has("flight-recorder")) {
+    std::cerr << "--trace and --flight-recorder are mutually exclusive "
+                 "(one sink per run)\n";
+    return 1;
+  }
   std::optional<obs::JsonlSink> event_sink;
+  std::optional<obs::FlightRecorder> flight;
+  const std::string flight_out = flags.get_string("flight-out", "flight.bin");
+  std::size_t attack_dumps = 0;
   if (!trace_path.empty()) {
     // A trace without time-series records is half blind; default the
     // sampler on unless the user picked an interval explicitly.
     if (!flags.has("sample-interval")) config.sample_interval = 10.0;
-    event_sink.emplace(trace_path);
+    event_sink.emplace(trace_path, static_cast<std::size_t>(
+                                       flags.get_int("trace-flush-every", 0)));
     if (!event_sink->ok()) {
       std::cerr << "cannot write " << trace_path << '\n';
       return 1;
     }
+  } else if (flags.has("flight-recorder")) {
+    // The always-on mode: bounded memory, no I/O until a dump. The
+    // sampler keeps its configured default (samples would crowd tight
+    // rings; pass --sample-interval to add them).
+    flight.emplace(flight_capacity_from(flags));
   }
+  const auto attach_tracing = [&](experiment::Simulation& sim) {
+    if (event_sink) sim.set_trace_sink(&*event_sink);
+    if (flight) {
+      sim.set_trace_sink(&flight->ring(0));
+      // Dump-on-attack: snapshot the rings right after each wave's kills
+      // land, while the pre-attack window is still in memory.
+      sim.set_attack_wave_listener([&](std::size_t wave, SimTime) {
+        const std::string path =
+            flight_out + ".attack" + std::to_string(wave) + ".bin";
+        std::string error;
+        if (flight->dump(path, &error)) {
+          ++attack_dumps;
+        } else {
+          std::cerr << error << '\n';
+        }
+      });
+    }
+  };
   const auto report_trace = [&] {
     if (event_sink) {
       std::cout << "trace: " << event_sink->lines_written()
                 << " records -> " << trace_path << '\n';
+    }
+    if (flight) {
+      // Dump-on-exit: the tail of the run, whatever happened.
+      std::string error;
+      if (!flight->dump(flight_out, &error)) {
+        std::cerr << error << '\n';
+        return;
+      }
+      std::cout << "flight: " << flight->total_recorded() << " records ("
+                << flight->total_dropped() << " overwritten";
+      if (attack_dumps > 0) {
+        std::cout << ", " << attack_dumps << " attack dumps";
+      }
+      std::cout << ") -> " << flight_out << '\n';
     }
   };
 
@@ -82,7 +149,7 @@ int run_single(const Flags& flags) {
                                  loaded.records.back().arrival.time);
     }
     experiment::Simulation sim(config);
-    if (event_sink) sim.set_trace_sink(&*event_sink);
+    attach_tracing(sim);
     for (const trace::TraceRecord& record : loaded.records) {
       sim.engine().schedule_at(record.arrival.time, [&sim, record] {
         sim.inject(record.arrival, record.bandwidth_share,
@@ -116,7 +183,7 @@ int run_single(const Flags& flags) {
   }
 
   experiment::Simulation sim(config);
-  if (event_sink) sim.set_trace_sink(&*event_sink);
+  attach_tracing(sim);
   sim.run();
   std::string title = std::string(proto::paper_label(config.protocol_kind)) +
                       " @ lambda=" + format_double(config.lambda, 1);
@@ -136,26 +203,27 @@ int run_sweep_mode(const Flags& flags) {
     options.protocols.push_back(proto::ProtocolKind::kGossip);
   }
   options.jobs = static_cast<unsigned>(flags.get_int("jobs", 0));
-  // A sweep cannot funnel every run into one JSONL file without
-  // interleaving records across worker threads, so --trace here fans out
-  // to one suffixed file per (protocol, lambda, replication) run. Use
-  // --jobs=1 if you additionally need the runs traced in serial order.
-  const std::string trace_prefix = flags.get_string("trace", "");
-  if (!trace_prefix.empty()) {
-    options.make_trace_sink =
-        [trace_prefix](proto::ProtocolKind kind, double lambda,
-                       std::uint32_t rep) -> std::unique_ptr<obs::TraceSink> {
-      std::ostringstream name;
-      name << trace_prefix << '.' << proto::to_string(kind) << ".lambda"
-           << format_double(lambda, 3) << ".rep" << rep << ".jsonl";
-      auto sink = std::make_unique<obs::JsonlSink>(name.str());
-      if (!sink->ok()) {
-        std::cerr << "cannot write " << name.str() << '\n';
-        return nullptr;
-      }
-      return sink;
-    };
+  // A sweep cannot funnel every run into one trace file without
+  // interleaving records across worker threads, so --trace (JSONL) and
+  // --flight-recorder (binary rings) fan out to one suffixed file per
+  // (protocol, lambda, replication) run. Use --jobs=1 if you additionally
+  // need the runs traced in serial order.
+  experiment::RunSinkOptions sink_options;
+  sink_options.jsonl_prefix = flags.get_string("trace", "");
+  sink_options.jsonl_flush_every =
+      static_cast<std::size_t>(flags.get_int("trace-flush-every", 0));
+  if (flags.has("flight-recorder")) {
+    sink_options.flight_prefix = flags.get_string("flight-out", "flight");
+    sink_options.flight_capacity = flight_capacity_from(flags);
   }
+  if (!sink_options.jsonl_prefix.empty() &&
+      !sink_options.flight_prefix.empty()) {
+    std::cerr << "--trace and --flight-recorder are mutually exclusive in "
+                 "sweep mode (one sink per run)\n";
+    return 1;
+  }
+  options.make_trace_sink =
+      experiment::make_run_sink_factory(std::move(sink_options));
   const auto cells = experiment::run_sweep(base, options);
   experiment::emit_figure("admission probability",
                           experiment::fig5_admission_probability(cells));

@@ -1,6 +1,10 @@
-// realtor_trace — offline analyzer for realtor_sim --trace=... JSONL files.
+// realtor_trace — offline analyzer for structured run traces: JSONL files
+// from realtor_sim --trace=... and binary flight-recorder dumps from
+// --flight-recorder (auto-detected by magic; every mode below works on
+// either).
 //
 //   realtor_trace run.jsonl                  # event-kind summary
+//   realtor_trace flight.bin                 # same, from a flight dump
 //   realtor_trace run.jsonl --node=7         # one node's timeline
 //   realtor_trace run.jsonl --kind=help_sent # filter (summary + timeline)
 //   realtor_trace run.jsonl --intervals      # Algorithm-H interval history
@@ -8,6 +12,12 @@
 //                                            # latency percentiles
 //   realtor_trace run.jsonl --check          # protocol invariant checker
 //                                            # (nonzero exit on violation)
+//   realtor_trace run.jsonl --scorecard      # survivability scorecard:
+//                                            # per-attack MTTR, stage
+//                                            # latency breakdown, miss/
+//                                            # drop attribution
+//   realtor_trace run.jsonl --scorecard --format=json
+//                                            # machine-readable scorecard
 //   realtor_trace run.jsonl --format=csv     # machine-readable event/
 //                                            # episode tables
 //   realtor_trace run.jsonl --limit=50       # cap timeline/episode rows
@@ -17,9 +27,10 @@
 // overridden with --alpha --beta --initial-interval --upper-limit
 // --interval-floor --pledge-threshold --tolerance.
 //
-// Any line that does not parse as a flat JSON trace record is a hard
-// error with its line number — the trace format is part of the tool
-// contract, not best-effort.
+// Malformed JSONL lines (non-empty, unparsable) are skipped but counted:
+// every mode reports the count on stderr with the first offending line,
+// and --check exits nonzero when any line was dropped — an analysis that
+// silently ignored part of its input must not report a clean bill.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -29,7 +40,9 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "obs/flight_reader.hpp"
 #include "obs/invariants.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
@@ -336,9 +349,10 @@ int main(int argc, char** argv) {
     path = flags.positional().front();
   }
   if (path.empty() || flags.get_bool("help", false)) {
-    std::cout << "usage: realtor_trace <run.jsonl> "
+    std::cout << "usage: realtor_trace <run.jsonl|flight.bin> "
                  "[--node=<id>] [--kind=<name>] [--intervals] "
-                 "[--episodes] [--check] [--format=csv] [--limit=<n>]\n"
+                 "[--episodes] [--check] [--scorecard] "
+                 "[--format=csv|json] [--limit=<n>]\n"
                  "--check options: --initial-interval --upper-limit "
                  "--interval-floor --alpha --beta --pledge-threshold "
                  "--tolerance\n";
@@ -346,21 +360,62 @@ int main(int argc, char** argv) {
   }
 
   std::vector<obs::ParsedEvent> events;
+  obs::TraceLoadStats load_stats;
   std::string error;
-  if (!obs::load_trace_file(path, events, &error)) {
-    std::cerr << path << ": " << error << '\n';
-    return 1;
+  if (obs::is_flight_file(path)) {
+    obs::FlightDump dump;
+    if (!obs::load_flight_file(path, dump, &error)) {
+      std::cerr << path << ": " << error << '\n';
+      return 1;
+    }
+    events = std::move(dump.events);
+    if (dump.total_dropped() > 0) {
+      std::cerr << path << ": ring wrap-around dropped "
+                << dump.total_dropped()
+                << " oldest record(s) before the dump\n";
+    }
+  } else {
+    if (!obs::load_trace_file(path, events, load_stats, &error)) {
+      std::cerr << path << ": " << error << '\n';
+      return 1;
+    }
+    if (load_stats.malformed > 0) {
+      std::cerr << path << ": skipped " << load_stats.malformed
+                << " malformed line(s), first at line "
+                << load_stats.first_malformed_line << ": "
+                << load_stats.first_error << '\n';
+    }
   }
 
   const std::string format = flags.get_string("format", "text");
-  if (format != "text" && format != "csv") {
-    std::cerr << "unknown --format: " << format << " (text|csv)\n";
+  const bool scorecard_mode = flags.get_bool("scorecard", false);
+  if (format != "text" && format != "csv" &&
+      !(format == "json" && scorecard_mode)) {
+    std::cerr << "unknown --format: " << format
+              << " (text|csv; json with --scorecard)\n";
     return 1;
   }
   const bool csv = format == "csv";
 
   if (flags.get_bool("check", false)) {
-    return run_check(events, flags);
+    const int result = run_check(events, flags);
+    if (result == 0 && load_stats.malformed > 0) {
+      std::printf("FAIL: %llu malformed line(s) were dropped from the "
+                  "input — the clean verdict above covers only what "
+                  "parsed\n",
+                  static_cast<unsigned long long>(load_stats.malformed));
+      return 1;
+    }
+    return result;
+  }
+
+  if (scorecard_mode) {
+    const obs::Scorecard scorecard = obs::build_scorecard(events);
+    const std::string out = format == "json"
+                                ? obs::render_scorecard_json(scorecard)
+                                : obs::render_scorecard_text(scorecard);
+    std::fputs(out.c_str(), stdout);
+    return 0;
   }
 
   if (flags.get_bool("episodes", false)) {

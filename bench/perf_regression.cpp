@@ -76,6 +76,7 @@
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
+#include "common/profile.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
@@ -675,6 +676,24 @@ int run_obs(const Flags& flags) {
             << "  flight budget (" << budget * 100.0 << "%): "
             << (within_budget ? "ok" : "EXCEEDED") << '\n';
 
+  // One extra rep with the self-profiler armed (tracing off). It runs
+  // AFTER the gated legs, so the budget numbers above measure the
+  // shipping configuration — ProfileScope compiled in but disabled — and
+  // the scope tree still lands in BENCH_obs.json for inspection.
+  obs::Profiler::instance().reset();
+  obs::Profiler::instance().set_enabled(true);
+  {
+    experiment::Simulation profiled(config);
+    profiled.run();
+  }
+  obs::Profiler::instance().set_enabled(false);
+  const std::vector<obs::ProfileEntry> profile_entries =
+      obs::Profiler::instance().snapshot();
+  std::vector<const obs::ProfileEntry*> profile_scopes;
+  for (const obs::ProfileEntry& entry : profile_entries) {
+    if (!entry.path.empty()) profile_scopes.push_back(&entry);
+  }
+
   const std::string path = flags.get_string("obs-out", "BENCH_obs.json");
   std::ofstream out(path);
   if (!out) {
@@ -698,6 +717,14 @@ int run_obs(const Flags& flags) {
         << ", \"overhead\": " << overhead(leg)
         << ", \"overhead_median\": " << paired_overhead_median(leg, off)
         << "}" << (i < 2 ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"profile\": [\n";
+  for (std::size_t i = 0; i < profile_scopes.size(); ++i) {
+    const obs::ProfileEntry& entry = *profile_scopes[i];
+    out << "    {\"path\": \"" << entry.path
+        << "\", \"calls\": " << entry.calls
+        << ", \"ms\": " << static_cast<double>(entry.ns) / 1e6 << "}"
+        << (i + 1 < profile_scopes.size() ? "," : "") << '\n';
   }
   out << "  ],\n  \"flight_overhead\": " << flight_overhead
       << ",\n  \"flight_overhead_median\": "

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/profile.hpp"
 
 namespace realtor::admission {
 
@@ -23,6 +24,7 @@ AdmissionController::AdmissionController(const MigrationPolicy& policy,
 MigrationOutcome AdmissionController::try_migrate(
     const node::Task& task, NodeId origin,
     proto::DiscoveryProtocol& protocol) {
+  obs::ProfileScope profile_scope("admission/try_migrate");
   MigrationOutcome outcome;
   proto::CandidateQuery query;
   query.min_security = task.min_security;
@@ -40,13 +42,22 @@ MigrationOutcome AdmissionController::try_migrate(
     if (tracing()) {
       // The candidate list was assembled from the pledges of the node's
       // most recent HELP round — attribute the outcome to that episode
-      // (0 for push/gossip schemes, which never solicit).
+      // (0 for push/gossip schemes, which never solicit). Lineage: the
+      // first attempt's cause is the pledge_received that last refreshed
+      // the list; retries chain off the preceding abort, so the walk from
+      // the final outcome back to the HELP covers every retry.
+      const std::uint64_t cause = outcome.last_event != 0
+                                      ? outcome.last_event
+                                      : protocol.last_evidence_id();
+      outcome.last_event = tracer_->issue_id();
       tracer_->emit(obs::TraceEvent(engine_->now(), origin,
                                     obs::EventKind::kMigrationAttempt)
                         .with("task", task.id)
                         .with("target", target)
                         .with("attempt", outcome.attempts)
-                        .with("episode", protocol.current_episode()));
+                        .with("episode", protocol.current_episode())
+                        .with("id", outcome.last_event)
+                        .with("cause", cause));
     }
 
     // Negotiation round-trip between the two admission controls. Charged
@@ -71,24 +82,32 @@ MigrationOutcome AdmissionController::try_migrate(
       outcome.admitted = true;
       outcome.target = target;
       if (tracing()) {
+        const std::uint64_t cause = outcome.last_event;
+        outcome.last_event = tracer_->issue_id();
         tracer_->emit(obs::TraceEvent(engine_->now(), origin,
                                       obs::EventKind::kMigrationSuccess)
                           .with("task", task.id)
                           .with("target", target)
                           .with("attempts", outcome.attempts)
-                          .with("episode", protocol.current_episode()));
+                          .with("episode", protocol.current_episode())
+                          .with("id", outcome.last_event)
+                          .with("cause", cause));
       }
       return outcome;
     }
     protocol.on_migration_result(target, fraction, false);
     ++aborted_;
     if (tracing()) {
+      const std::uint64_t cause = outcome.last_event;
+      outcome.last_event = tracer_->issue_id();
       tracer_->emit(obs::TraceEvent(engine_->now(), origin,
                                     obs::EventKind::kMigrationAbort)
                         .with("task", task.id)
                         .with("target", target)
                         .with("target_alive", target_up)
-                        .with("episode", protocol.current_episode()));
+                        .with("episode", protocol.current_episode())
+                        .with("id", outcome.last_event)
+                        .with("cause", cause));
     }
   }
   return outcome;

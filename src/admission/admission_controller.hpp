@@ -36,6 +36,11 @@ struct MigrationOutcome {
   bool admitted = false;
   NodeId target = kInvalidNode;
   std::uint32_t attempts = 0;
+  /// Lineage id of the last trace event this decision emitted (the
+  /// migration_success on admission, else the final migration_abort /
+  /// attempt). The simulation uses it as the cause of the task-level
+  /// admit/reject record. 0 when tracing is off or no attempt was made.
+  std::uint64_t last_event = 0;
 };
 
 class AdmissionController {

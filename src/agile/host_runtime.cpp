@@ -1,5 +1,7 @@
 #include "agile/host_runtime.hpp"
 
+#include "common/profile.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -203,6 +205,7 @@ std::vector<NodeId> HostRuntime::candidates(SimTime now) {
 }
 
 void HostRuntime::handle(const Datagram& datagram) {
+  obs::ProfileScope scope("agile/handle");
   if (const auto* arrival = std::get_if<TaskArrival>(&datagram.payload)) {
     handle_arrival(*arrival);
   } else if (const auto* transfer =

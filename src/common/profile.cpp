@@ -1,0 +1,172 @@
+#include "common/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace realtor::obs {
+namespace {
+
+thread_local std::uint32_t tls_current = 0;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+Profiler::Profiler() {
+  nodes_.emplace_back();  // index 0: the implicit root
+  nodes_[0].name = "";
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.clear();
+  nodes_.emplace_back();
+  nodes_[0].name = "";
+}
+
+std::uint32_t Profiler::enter(const char* name) {
+  const std::uint32_t parent = tls_current;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& from = nodes_[parent];
+  for (std::uint32_t child : from.children) {
+    if (nodes_[child].name == name) {
+      tls_current = child;
+      return parent;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].name = name;
+  nodes_[index].parent = parent;
+  nodes_[parent].children.push_back(index);
+  tls_current = index;
+  return parent;
+}
+
+void Profiler::leave(std::uint32_t parent, std::uint64_t ns) {
+  // The lock protects the deque's block map against a concurrent enter()
+  // growing it; the totals themselves are relaxed atomics.
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& node = nodes_[tls_current];
+  node.calls.fetch_add(1, std::memory_order_relaxed);
+  node.ns.fetch_add(ns, std::memory_order_relaxed);
+  tls_current = parent;
+}
+
+void Profiler::flatten(std::uint32_t index, int depth,
+                       const std::string& prefix,
+                       std::vector<ProfileEntry>& out) const {
+  const Node& node = nodes_[index];
+  const std::string path =
+      index == 0 ? std::string()
+                 : (prefix.empty() ? node.name : prefix + "/" + node.name);
+  if (index != 0) {
+    ProfileEntry entry;
+    entry.path = path;
+    entry.depth = depth;
+    entry.calls = node.calls.load(std::memory_order_relaxed);
+    entry.ns = node.ns.load(std::memory_order_relaxed);
+    out.push_back(std::move(entry));
+  }
+  std::vector<std::uint32_t> children = node.children;
+  std::sort(children.begin(), children.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return nodes_[a].name < nodes_[b].name;
+            });
+  for (std::uint32_t child : children) {
+    flatten(child, index == 0 ? depth : depth + 1, path, out);
+  }
+}
+
+std::vector<ProfileEntry> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ProfileEntry> out;
+  flatten(0, 0, "", out);
+  return out;
+}
+
+void ProfileScope::begin(const char* name) {
+  parent_ = Profiler::instance().enter(name);
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+void ProfileScope::end() {
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  Profiler::instance().leave(parent_, elapsed);
+}
+
+void write_profile_tsv(std::ostream& out,
+                       const std::vector<ProfileEntry>& entries) {
+  out << "depth\tcalls\tns\tpath\n";
+  for (const ProfileEntry& entry : entries) {
+    out << entry.depth << '\t' << entry.calls << '\t' << entry.ns << '\t'
+        << entry.path << '\n';
+  }
+}
+
+std::vector<ProfileEntry> parse_profile_tsv(std::istream& in) {
+  std::vector<ProfileEntry> entries;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header row
+      first = false;
+      if (line.rfind("depth\t", 0) == 0) continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    ProfileEntry entry;
+    std::string depth, calls, ns;
+    if (!std::getline(fields, depth, '\t') ||
+        !std::getline(fields, calls, '\t') ||
+        !std::getline(fields, ns, '\t') ||
+        !std::getline(fields, entry.path)) {
+      continue;
+    }
+    try {
+      entry.depth = std::stoi(depth);
+      entry.calls = std::stoull(calls);
+      entry.ns = std::stoull(ns);
+    } catch (...) {
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string render_profile_text(const std::vector<ProfileEntry>& entries) {
+  std::ostringstream out;
+  out << "profile scopes (wall clock)\n";
+  char row[160];
+  for (const ProfileEntry& entry : entries) {
+    // Last path component, indented by depth.
+    const auto slash = entry.path.rfind('/');
+    const std::string leaf =
+        slash == std::string::npos ? entry.path : entry.path.substr(slash + 1);
+    std::string indent(static_cast<std::size_t>(entry.depth) * 2, ' ');
+    std::snprintf(row, sizeof(row), "  %-40s %10llu calls %12.3f ms\n",
+                  (indent + leaf).c_str(),
+                  static_cast<unsigned long long>(entry.calls),
+                  static_cast<double>(entry.ns) / 1e6);
+    out << row;
+  }
+  return out.str();
+}
+
+}  // namespace realtor::obs

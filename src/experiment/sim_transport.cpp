@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/profile.hpp"
 
 namespace realtor::experiment {
 
@@ -70,6 +71,7 @@ void SimTransport::deliver_later(NodeId dest, NodeId origin,
 
 void SimTransport::fan_out(NodeId origin, federation::GroupId group,
                            Payload payload, bool hop_accurate) {
+  obs::ProfileScope scope("transport/fan_out");
   // Hop-accurate propagation (positive delay, flood semantics) needs a
   // distinct firing time per destination and therefore one event per
   // destination; all other fan-outs fire at a single uniform time and can
@@ -148,6 +150,7 @@ void SimTransport::escalate(NodeId origin, federation::GroupId target_group,
 }
 
 void SimTransport::unicast(NodeId from, NodeId to, const proto::Message& msg) {
+  obs::ProfileScope scope("transport/unicast");
   ledger_.record(kind_of(msg), cost_model_.unicast_cost(from, to));
   // Record-and-drop: a unicast between alive endpoints in different
   // partitions of the alive subgraph is charged (the sender pays for the
@@ -164,9 +167,9 @@ void SimTransport::unicast(NodeId from, NodeId to, const proto::Message& msg) {
       // HELP and PLEDGE carry the discovery-episode id; attribute the
       // drop so the scorecard can charge it to the right episode.
       if (const auto* help = std::get_if<proto::HelpMsg>(&msg)) {
-        event.with("episode", help->episode);
+        event.with("episode", help->episode).with("cause", help->cause);
       } else if (const auto* pledge = std::get_if<proto::PledgeMsg>(&msg)) {
-        event.with("episode", pledge->episode);
+        event.with("episode", pledge->episode).with("cause", pledge->cause);
       }
       tracer_->emit(event);
     }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/profile.hpp"
 #include "proto/factory.hpp"
 
 namespace realtor::experiment {
@@ -227,7 +228,9 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
                          .with("target", outcome.target)
                          .with("attempts", outcome.attempts)
                          .with("episode",
-                               protocols_[arrival.node]->current_episode()));
+                               protocols_[arrival.node]->current_episode())
+                         .with("id", tracer_.issue_id())
+                         .with("cause", outcome.last_event));
       }
     } else {
       ++metrics_.rejected;
@@ -238,7 +241,9 @@ void Simulation::process_arrival(const sim::Arrival& arrival,
                          .with("task", task.id)
                          .with("attempts", outcome.attempts)
                          .with("episode",
-                               protocols_[arrival.node]->current_episode()));
+                               protocols_[arrival.node]->current_episode())
+                         .with("id", tracer_.issue_id())
+                         .with("cause", outcome.last_event));
       }
       if (outcome.attempts == 0) {
         // Local group had nothing to offer: solicit the neighbor groups
@@ -516,6 +521,19 @@ void Simulation::finalize_telemetry() {
   const double n = static_cast<double>(monitors_.size());
   metrics_.mean_occupancy = occupancy_sum / n;
   metrics_.mean_utilization = utilization_sum / n;
+
+  // Fold the self-profiler's scope totals into the registry so profiled
+  // runs export them alongside the simulation gauges. The process-wide
+  // profiler outlives this Simulation, so the totals cover everything
+  // recorded since its last reset (the harness resets between runs).
+  if (obs::Profiler::instance().enabled()) {
+    for (const obs::ProfileEntry& entry : obs::Profiler::instance().snapshot()) {
+      registry_.gauge("profile." + entry.path + ".calls")
+          .set(static_cast<double>(entry.calls));
+      registry_.gauge("profile." + entry.path + ".ms")
+          .set(static_cast<double>(entry.ns) / 1e6);
+    }
+  }
 }
 
 }  // namespace realtor::experiment

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/profile.hpp"
 
 namespace realtor::net {
 
@@ -24,6 +25,7 @@ void ShortestPaths::sync() const {
 }
 
 void ShortestPaths::bfs(NodeId src, std::vector<std::uint32_t>& dist) const {
+  obs::ProfileScope scope("net/shortest_paths_bfs");
   const NodeId n = topology_.num_nodes();
   dist.assign(n, kUnreachable);
   if (!topology_.alive(src)) return;

@@ -1,0 +1,113 @@
+// Critical-path extraction over the lineage DAG.
+//
+// Every message-producing trace event carries a lineage "id" and every
+// receive-side event a "cause" pointing at the id that produced it (see
+// Tracer::issue_id and proto::HelpMsg::cause). For each discovery episode
+// this module picks the episode's terminal event (the admission that
+// consumed it, else its migration outcome, else its first pledge), walks
+// the cause chain back to the root help_sent, and classifies each edge of
+// the resulting path into a named protocol phase:
+//
+//   algo_h_backoff      demand waiting on the Algorithm-H interval gate
+//                       (pre-HELP; reported by the help_sent "backoff"
+//                       field, not an edge)
+//   flood_propagation   help_sent        -> help_received
+//   pledge_wait         help_received    -> pledge_sent -> pledge_received
+//   admission_decision  pledge_received  -> migration_attempt, retry gaps,
+//                       and the outcome -> task admit/reject hop
+//   migration_transfer  migration_attempt -> migration_success/abort
+//
+// Because consecutive chain events telescope, the edge durations of a path
+// sum *exactly* to terminal.time - root.time; adding the backoff gives the
+// path's total attributed latency. check_critical_paths() asserts these
+// identities and backs `realtor_trace --critical-path --check` (the CI
+// gate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace realtor::obs {
+
+enum class Phase : std::uint8_t {
+  kBackoff = 0,
+  kFloodPropagation,
+  kPledgeWait,
+  kAdmissionDecision,
+  kMigrationTransfer,
+  kUnattributed,
+  kCount,
+};
+
+/// Stable snake_case phase name used in reports.
+const char* to_string(Phase phase);
+
+/// One lineage edge of an episode's critical path.
+struct CriticalEdge {
+  Phase phase = Phase::kUnattributed;
+  EventKind from_kind = EventKind::kCount;
+  EventKind to_kind = EventKind::kCount;
+  NodeId from_node = kInvalidNode;
+  NodeId to_node = kInvalidNode;
+  SimTime from_time = 0.0;
+  SimTime to_time = 0.0;
+  std::uint64_t episode = 0;
+
+  SimTime duration() const { return to_time - from_time; }
+};
+
+/// The cause chain of one episode, root (help_sent) first.
+struct EpisodePath {
+  std::uint64_t episode = 0;
+  NodeId origin = kInvalidNode;
+  EventKind root_kind = EventKind::kCount;
+  EventKind terminal_kind = EventKind::kCount;
+  SimTime start = 0.0;  // root event time
+  SimTime end = 0.0;    // terminal event time
+  /// Algorithm-H backoff reported by the root help_sent (0 when the HELP
+  /// fired on first trigger, or the root carries no backoff field).
+  SimTime backoff = 0.0;
+  std::vector<CriticalEdge> edges;
+
+  /// Total attributed latency: backoff + sum of edge durations, which by
+  /// construction equals backoff + (end - start).
+  SimTime total() const { return backoff + (end - start); }
+};
+
+struct CriticalPathAnalysis {
+  std::vector<EpisodePath> paths;  // ascending episode id
+  /// Episodes present in the trace but without any terminal event (no
+  /// pledge ever came back) — they contribute no path.
+  std::uint64_t episodes_without_terminal = 0;
+  /// Cause references that point at no event in the trace (possible with
+  /// ring-evicted flight dumps); the walk stops there and the path roots
+  /// at the last resolvable event.
+  std::uint64_t unresolved_causes = 0;
+};
+
+/// Walks the lineage DAG of `events` (time-ordered, as loaded from any
+/// sink) and extracts one critical path per episode that reached a
+/// terminal event.
+CriticalPathAnalysis analyze_critical_paths(
+    const std::vector<SpanEvent>& events);
+
+/// Deterministic per-phase latency table (count / mean / p50 / p90 / p99 /
+/// max, milliseconds) over every path in `analysis` — byte-identical for
+/// identical traces.
+std::string render_critical_path(const CriticalPathAnalysis& analysis);
+
+/// Top-K slowest edges across all paths (ties broken by episode then
+/// time), the `--blame` report.
+std::string render_blame(const CriticalPathAnalysis& analysis,
+                         std::size_t top_k);
+
+/// Structural gate: every path's edges must be contiguous and time-ordered
+/// and their durations must sum exactly (1e-9) to end - start. Returns
+/// human-readable violations; empty = pass.
+std::vector<std::string> check_critical_paths(
+    const CriticalPathAnalysis& analysis);
+
+}  // namespace realtor::obs

@@ -165,19 +165,45 @@ bool load_flight_file(const std::string& path, FlightDump& out,
   if (!cursor.read(ring_count)) return fail(error, "truncated ring count");
   for (std::uint32_t r = 0; r < ring_count; ++r) {
     FlightRingInfo info;
-    if (!cursor.read(info)) return fail(error, "truncated ring header");
+    if (!cursor.read(info)) {
+      // A dump with zero intact ring headers carries no information —
+      // fail. Past the first ring, salvage what earlier rings yielded.
+      if (r == 0) return fail(error, "truncated ring header");
+      out.truncated = true;
+      break;
+    }
+    std::uint64_t consumed = 0;  // records fully read off the cursor
+    bool cut = false;
     for (std::uint64_t i = 0; i < info.stored; ++i) {
       FlightRecord record;
-      if (!cursor.read(record)) return fail(error, "truncated ring records");
+      if (!cursor.read(record)) {
+        cut = true;
+        break;
+      }
+      ++consumed;
       ParsedEvent event;
       if (!unpack(record, out.names, event)) {
-        return fail(error, "malformed record (unknown kind or name id)");
+        // Corrupt record body (unknown kind, field count, or name id):
+        // count it and keep going — the fixed record size means the
+        // cursor is still aligned on the next record.
+        ++out.malformed;
+        continue;
       }
       out.events.push_back(std::move(event));
     }
     out.rings.push_back(info);
+    if (cut) {
+      // Mid-ring truncation: everything the ring claimed past the cut is
+      // unrecoverable — count it and stop (later rings start at unknown
+      // offsets).
+      out.truncated = true;
+      out.malformed += info.stored - consumed;
+      break;
+    }
   }
-  if (cursor.pos != cursor.size) return fail(error, "trailing bytes");
+  if (!out.truncated && cursor.pos != cursor.size) {
+    return fail(error, "trailing bytes");
+  }
 
   // Multi-ring dumps (agile: one ring per host) interleave by time; a
   // stable sort keeps ring-major order on ties and is a no-op for the

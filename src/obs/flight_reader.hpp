@@ -25,6 +25,14 @@ struct FlightDump {
   /// ties keep ring order, and within a ring the recorded order). For the
   /// single-ring simulation dumps this is exactly emission order.
   std::vector<ParsedEvent> events;
+  /// Records the file claimed but the reader could not recover: packed
+  /// records rejected by unpack (unknown kind / out-of-range name id) plus
+  /// records lost to mid-ring truncation. The JSONL analogue of
+  /// ReadStats::malformed — `realtor_trace --check` fails when non-zero.
+  std::uint64_t malformed = 0;
+  /// True when the file ended mid-ring: every intact record up to the cut
+  /// was salvaged into `events` and the remainder counted in `malformed`.
+  bool truncated = false;
 
   std::uint64_t total_recorded() const;
   std::uint64_t total_dropped() const;
@@ -34,8 +42,12 @@ struct FlightDump {
 /// realtor_trace auto-detects binary dumps next to JSONL traces.
 bool is_flight_file(const std::string& path);
 
-/// Loads a dump; false with a reason in `error` on unreadable or
-/// malformed input (bad magic, truncated table or ring, unknown kind).
+/// Loads a dump. False with a reason in `error` only when nothing is
+/// recoverable: unreadable file, bad magic, or a header (name table /
+/// ring count / first ring header) cut short. Damage past the headers —
+/// a ring truncated mid-record, records with unknown kinds or name ids —
+/// never fails the load: intact records are salvaged into `out.events`
+/// and the loss is surfaced via `out.malformed` / `out.truncated`.
 bool load_flight_file(const std::string& path, FlightDump& out,
                       std::string* error = nullptr);
 

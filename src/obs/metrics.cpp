@@ -44,7 +44,13 @@ void Histogram::observe(double value) {
 }
 
 double Histogram::quantile(double q) const {
+  // Degenerate reservoirs first: an empty histogram has no defined
+  // quantile (report 0), and a single sample IS every quantile. The
+  // guards also keep the interpolation below away from size-1 edge
+  // arithmetic (rank is always 0 there, but making the contract explicit
+  // costs nothing and is unit-tested).
   if (reservoir_.empty()) return 0.0;
+  if (reservoir_.size() == 1) return reservoir_.front();
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
   const double clamped = std::min(1.0, std::max(0.0, q));

@@ -1,0 +1,189 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace realtor::obs {
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kEpisodePid = 2;
+constexpr int kProfilePid = 3;
+
+std::int64_t to_us(SimTime t) {
+  return static_cast<std::int64_t>(std::llround(t * 1e6));
+}
+
+ChromeEvent meta(int pid, std::int64_t tid, const char* key,
+                 std::string value) {
+  ChromeEvent e;
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = key;
+  e.arg_name = std::move(value);
+  return e;
+}
+
+void append_profile_slices(const std::vector<ProfileEntry>& profile,
+                           std::vector<ChromeEvent>& out) {
+  if (profile.empty()) return;
+  out.push_back(meta(kProfilePid, 0, "process_name", "profiler"));
+  out.push_back(meta(kProfilePid, 1, "thread_name", "scopes"));
+  // Entries arrive pre-order with inclusive times, so siblings lay out
+  // sequentially inside their parent: cursor[d] is where the next slice
+  // at depth d starts.
+  std::vector<std::int64_t> cursor(1, 0);
+  for (const ProfileEntry& entry : profile) {
+    if (entry.path.empty()) continue;  // synthetic root node
+    const auto depth = static_cast<std::size_t>(entry.depth < 0 ? 0 : entry.depth);
+    if (cursor.size() <= depth) cursor.resize(depth + 1, 0);
+    const std::int64_t ts = cursor[depth];
+    const std::int64_t dur = static_cast<std::int64_t>(entry.ns / 1000);
+    ChromeEvent e;
+    e.ph = 'X';
+    e.pid = kProfilePid;
+    e.tid = 1;
+    e.ts = ts;
+    e.dur = dur;
+    const std::size_t slash = entry.path.rfind('/');
+    e.name = slash == std::string::npos ? entry.path
+                                        : entry.path.substr(slash + 1);
+    out.push_back(std::move(e));
+    cursor[depth] = ts + dur;
+    if (cursor.size() > depth + 1) {
+      cursor[depth + 1] = ts;
+    } else {
+      cursor.push_back(ts);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ChromeEvent> build_chrome_events(
+    const std::vector<SpanEvent>& events,
+    const CriticalPathAnalysis& analysis,
+    const std::vector<ProfileEntry>& profile) {
+  std::vector<ChromeEvent> out;
+  out.push_back(meta(kSimPid, 0, "process_name", "simulation"));
+  out.push_back(meta(kEpisodePid, 0, "process_name", "episodes"));
+
+  // --- pid 1: per-node slices + lineage flow arrows -----------------------
+  // A producer's "s" is emitted only once (a HELP flood has many
+  // consumers) and only if some consumer actually resolved it, so every
+  // arrow in the render has both ends.
+  std::unordered_set<std::uint64_t> producers;
+  std::unordered_set<std::uint64_t> consumed;
+  for (const SpanEvent& event : events) {
+    if (event.lineage != 0) producers.insert(event.lineage);
+  }
+  for (const SpanEvent& event : events) {
+    if (event.cause != 0 && producers.count(event.cause) != 0) {
+      consumed.insert(event.cause);
+    }
+  }
+  std::unordered_set<std::uint64_t> started;
+  for (const SpanEvent& event : events) {
+    if (event.lineage == 0 && event.cause == 0) continue;
+    ChromeEvent slice;
+    slice.ph = 'X';
+    slice.pid = kSimPid;
+    slice.tid = static_cast<std::int64_t>(event.node);
+    slice.ts = to_us(event.time);
+    slice.dur = 1;
+    slice.name = to_string(event.kind);
+    out.push_back(slice);
+    if (event.lineage != 0 && consumed.count(event.lineage) != 0 &&
+        started.insert(event.lineage).second) {
+      ChromeEvent flow = slice;
+      flow.ph = 's';
+      flow.dur = 0;
+      flow.flow_id = event.lineage;
+      out.push_back(std::move(flow));
+    }
+    if (event.cause != 0 && consumed.count(event.cause) != 0) {
+      ChromeEvent flow = slice;
+      flow.ph = 'f';
+      flow.dur = 0;
+      flow.flow_id = event.cause;
+      out.push_back(std::move(flow));
+    }
+  }
+
+  // --- pid 2: one thread per episode, phase edges nested ------------------
+  for (const EpisodePath& path : analysis.paths) {
+    const auto tid = static_cast<std::int64_t>(path.episode);
+    ChromeEvent episode;
+    episode.ph = 'X';
+    episode.pid = kEpisodePid;
+    episode.tid = tid;
+    episode.ts = to_us(path.start);
+    episode.dur = std::max<std::int64_t>(1, to_us(path.end) - episode.ts);
+    episode.name = "episode";
+    out.push_back(std::move(episode));
+    for (const CriticalEdge& edge : path.edges) {
+      ChromeEvent slice;
+      slice.ph = 'X';
+      slice.pid = kEpisodePid;
+      slice.tid = tid;
+      slice.ts = to_us(edge.from_time);
+      slice.dur = to_us(edge.to_time) - slice.ts;
+      slice.name = to_string(edge.phase);
+      out.push_back(std::move(slice));
+    }
+  }
+
+  // --- pid 3: aggregated profiler tree ------------------------------------
+  append_profile_slices(profile, out);
+
+  // (pid, tid, meta-first, ts, -dur): metadata leads its track, parents
+  // precede the slices they enclose, and per-track ts is monotone.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     const bool am = a.ph == 'M';
+                     const bool bm = b.ph == 'M';
+                     if (am != bm) return am;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  return out;
+}
+
+std::string render_chrome_json(const std::vector<ChromeEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const ChromeEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":" + std::to_string(e.pid);
+    out += ",\"tid\":" + std::to_string(e.tid);
+    if (e.ph == 'M') {
+      // Names are fixed identifiers from to_string()/phase tables — no
+      // JSON-escaping needed anywhere in this exporter.
+      out += ",\"name\":\"" + e.name + "\"";
+      out += ",\"args\":{\"name\":\"" + e.arg_name + "\"}";
+    } else {
+      out += ",\"ts\":" + std::to_string(e.ts);
+      if (e.ph == 'X') out += ",\"dur\":" + std::to_string(e.dur);
+      out += ",\"name\":\"" + e.name + "\"";
+      if (e.ph == 's' || e.ph == 'f') {
+        out += ",\"cat\":\"lineage\",\"id\":" + std::to_string(e.flow_id);
+        if (e.ph == 'f') out += ",\"bp\":\"e\"";
+      }
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace realtor::obs

@@ -1,0 +1,61 @@
+// Chrome-trace / Perfetto export of a traced run.
+//
+// Renders the run in the Trace Event JSON format that ui.perfetto.dev and
+// chrome://tracing load natively, as three process tracks:
+//
+//   pid 1  simulation   one thread per node; every lineage-bearing trace
+//                       record is a slice, and lineage edges (cause -> id)
+//                       become flow arrows between the slices, so a HELP
+//                       flood fans out visually into its PLEDGEs.
+//   pid 2  episodes     one thread per discovery episode; the episode's
+//                       critical path is a slice with its classified phase
+//                       edges nested inside.
+//   pid 3  profiler     the aggregated ProfileScope tree (loaded from a
+//                       --profile TSV), rendered as nested slices whose
+//                       widths are cumulative inclusive time.
+//
+// The export is a pure function of its inputs: events are emitted in
+// (pid, tid, ts, -dur) order so identical traces produce byte-identical
+// JSON, and parents always precede the slices they enclose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/profile.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/span.hpp"
+
+namespace realtor::obs {
+
+/// One Trace Event JSON record, pre-serialization. Only the phases the
+/// exporter emits are modeled: "X" (complete slice), "s"/"f" (flow
+/// start / finish), "M" (metadata).
+struct ChromeEvent {
+  char ph = 'X';
+  int pid = 0;
+  std::int64_t tid = 0;
+  std::int64_t ts = 0;   // microseconds
+  std::int64_t dur = 0;  // microseconds; "X" only
+  std::string name;
+  /// Flow id binding an "s" to its "f" events ("s"/"f" only).
+  std::uint64_t flow_id = 0;
+  /// Metadata payload ("M" only): the process/thread name being assigned.
+  std::string arg_name;
+};
+
+/// Builds the full event list for a run: simulation slices + lineage
+/// flows from `events`, episode/phase slices from `analysis`, and (when
+/// non-empty) profiler slices from `profile`. Returned sorted; "s" events
+/// are emitted only when at least one consumer exists and every "f"
+/// references an emitted "s", so flow arrows always resolve.
+std::vector<ChromeEvent> build_chrome_events(
+    const std::vector<SpanEvent>& events,
+    const CriticalPathAnalysis& analysis,
+    const std::vector<ProfileEntry>& profile = {});
+
+/// Serializes to a {"traceEvents": [...]} JSON document.
+std::string render_chrome_json(const std::vector<ChromeEvent>& events);
+
+}  // namespace realtor::obs

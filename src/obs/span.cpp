@@ -26,6 +26,12 @@ void apply_field(SpanEvent& out, std::string_view key, double number,
     out.urgency = number;
   } else if (key == "answered" && is_bool) {
     out.answered = boolean;
+  } else if (key == "id") {
+    out.lineage = static_cast<std::uint64_t>(number);
+  } else if (key == "cause") {
+    out.cause = static_cast<std::uint64_t>(number);
+  } else if (key == "backoff") {
+    out.backoff = number;
   }
 }
 

@@ -47,6 +47,16 @@ struct SpanEvent {
   double urgency = -1.0;
   /// help_received only: did the receiver pledge?
   bool answered = false;
+  /// Lineage id of this event ("id" field); 0 = no lineage (untraced
+  /// producers or kinds outside the causal message path).
+  std::uint64_t lineage = 0;
+  /// Lineage id of the event that caused this one ("cause" field); 0 =
+  /// root of its chain (help_sent, unsolicited sends).
+  std::uint64_t cause = 0;
+  /// help_sent only: Algorithm-H backoff — how long the interval gate
+  /// suppressed qualifying demand before this HELP went out. Negative =
+  /// absent (kinds without the field).
+  double backoff = -1.0;
 };
 
 /// Reduces a live trace record. Every kind normalizes (unknown payload

@@ -211,8 +211,25 @@ class Tracer {
     if (sink_ != nullptr) sink_->flush();
   }
 
+  /// Allocates the next lineage event id (1-based; 0 means "no lineage").
+  /// Events that produce messages carry their id in an "id" payload field,
+  /// and the message carries it as its cause_id, so receive-side events can
+  /// point back at their producer and episodes form an explicit causality
+  /// DAG. The counter is per-Tracer (one per Simulation), so sweeps stay
+  /// byte-identical across --jobs values; callers only allocate on traced
+  /// paths, so untraced runs never touch it. Atomic (relaxed) for the
+  /// threaded Agile runtime.
+  std::uint64_t issue_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Lineage ids allocated so far (the last id handed out).
+  std::uint64_t issued_ids() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
  private:
   TraceSink* sink_ = nullptr;
+  std::atomic<std::uint64_t> next_id_{0};
 };
 
 }  // namespace realtor::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 AdaptivePullProtocol::AdaptivePullProtocol(NodeId self,
@@ -19,7 +21,12 @@ void AdaptivePullProtocol::on_status_change(double occupancy) {
 
 void AdaptivePullProtocol::on_task_arrival(double occupancy_with_task) {
   if (!env_.topology->alive(self_)) return;
-  if (!algo_h_.should_send_help(now(), occupancy_with_task)) return;
+  if (!algo_h_.should_send_help(now(), occupancy_with_task)) {
+    // See RealtorProtocol::on_task_arrival: remember when suppressed
+    // demand started waiting so the eventual HELP reports its backoff.
+    algo_h_.note_blocked(now(), occupancy_with_task);
+    return;
+  }
   send_help(
       std::min(1.0, std::max(0.0, occupancy_with_task - config_.help_threshold)));
 }
@@ -38,11 +45,13 @@ void AdaptivePullProtocol::trace_interval(const char* reason) const {
 }
 
 void AdaptivePullProtocol::send_help(double urgency) {
+  const SimTime backoff = algo_h_.blocked_time(now());
   HelpMsg help;
   help.origin = self_;
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
   help.episode = open_episode();
+  help.cause = issue_trace_id();  // the help_sent event below
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
   help_timer_.arm(timeout, [this] {
@@ -54,11 +63,14 @@ void AdaptivePullProtocol::send_help(double urgency) {
               .with("urgency", urgency)
               .with("interval", algo_h_.interval())
               .with("members", help.member_count)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", help.cause)
+              .with("backoff", backoff));
   }
 }
 
 void AdaptivePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  obs::ProfileScope scope("proto/adaptive_pull");
   if (const auto* help = std::get_if<HelpMsg>(&msg)) {
     handle_help(*help);
   } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
@@ -70,12 +82,15 @@ void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
   if (!env_.topology->alive(self_)) return;
   const double occupancy = local_occupancy();
   const bool answered = responder_.should_pledge_on_help(occupancy);
+  const std::uint64_t received_id = issue_trace_id();
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
               .with("answered", answered)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", received_id)
+              .with("cause", help.cause));
   }
   if (!answered) return;
   PledgeMsg pledge;
@@ -85,13 +100,16 @@ void AdaptivePullProtocol::handle_help(const HelpMsg& help) {
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
   pledge.episode = help.episode;
+  pledge.cause = issue_trace_id();  // the pledge_sent event below
   env_.transport->unicast(self_, help.origin, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", help.origin)
               .with("availability", pledge.availability)
               .with("grant_probability", pledge.grant_probability)
-              .with("episode", pledge.episode));
+              .with("episode", pledge.episode)
+              .with("id", pledge.cause)
+              .with("cause", received_id));
   }
 }
 
@@ -103,12 +121,15 @@ void AdaptivePullProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  last_evidence_ = issue_trace_id();  // the pledge_received event below
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
               .with("list_size", pledge_list_.held())
-              .with("episode", pledge.episode));
+              .with("episode", pledge.episode)
+              .with("id", last_evidence_)
+              .with("cause", pledge.cause));
   }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {

@@ -1,5 +1,7 @@
 #include "proto/adaptive_push.hpp"
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 AdaptivePushProtocol::AdaptivePushProtocol(NodeId self,
@@ -24,17 +26,20 @@ void AdaptivePushProtocol::on_status_change(double occupancy) {
   advert.origin = self_;
   advert.availability = 1.0 - occupancy;
   advert.security_level = local_security();
+  advert.cause = issue_trace_id();  // the advert_sent event below
   env_.transport->flood(self_, Message{advert});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kAdvertSent)
               .with("availability", advert.availability)
-              .with("periodic", false));
+              .with("periodic", false)
+              .with("id", advert.cause));
   }
 }
 
 void AdaptivePushProtocol::on_task_arrival(double /*occupancy_with_task*/) {}
 
 void AdaptivePushProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  obs::ProfileScope scope("proto/adaptive_push");
   if (const auto* advert = std::get_if<PushAdvertMsg>(&msg)) {
     table_.update(advert->origin, advert->availability, now(),
                   advert->security_level);

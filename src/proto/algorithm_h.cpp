@@ -30,10 +30,16 @@ bool AlgorithmH::should_send_help(SimTime now,
 
 SimTime AlgorithmH::note_help_sent(SimTime now) {
   last_sent_ = now;
+  first_blocked_ = -1.0;
   awaiting_ = true;
   round_rewarded_ = false;
   ++helps_sent_;
   return timeout_;
+}
+
+void AlgorithmH::note_blocked(SimTime now, double occupancy_with_task) {
+  if (occupancy_with_task < threshold_) return;
+  if (first_blocked_ < 0.0) first_blocked_ = now;
 }
 
 bool AlgorithmH::note_pledge() { return awaiting_; }

@@ -58,6 +58,19 @@ class AlgorithmH {
   /// kOnFirstUsefulPledge reward policy). Returns whether it fired.
   bool claim_round_reward();
 
+  /// Records that a qualifying arrival (occupancy above threshold) was
+  /// suppressed by the interval gate at `now`. Only the first suppression
+  /// since the last HELP is kept: it marks when demand started waiting.
+  void note_blocked(SimTime now, double occupancy_with_task);
+
+  /// Algorithm-H backoff: how long demand has been waiting on the interval
+  /// gate when a HELP finally goes out at `now` — the span from the first
+  /// suppressed qualifying arrival to `now`, 0 when the HELP fired on its
+  /// first trigger. Cleared by note_help_sent().
+  SimTime blocked_time(SimTime now) const {
+    return first_blocked_ >= 0.0 ? now - first_blocked_ : 0.0;
+  }
+
   double interval() const { return interval_; }
   SimTime last_help_time() const { return last_sent_; }
   bool awaiting_response() const { return awaiting_; }
@@ -76,6 +89,7 @@ class AlgorithmH {
 
   double interval_;
   SimTime last_sent_;
+  SimTime first_blocked_ = -1.0;  // < 0: no suppressed demand pending
   bool awaiting_ = false;
   bool round_rewarded_ = false;
 

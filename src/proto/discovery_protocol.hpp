@@ -134,6 +134,13 @@ class DiscoveryProtocol {
   /// pledges, so the outcome is causally attributed to it.
   std::uint64_t current_episode() const { return current_episode_; }
 
+  /// Lineage id of the trace event that last refreshed this node's
+  /// candidate store (the most recent pledge_received record), or 0 if no
+  /// pledge arrived yet / tracing is off. The admission layer uses it as
+  /// the cause of migration_attempt events: the candidate list a migration
+  /// consults is exactly the evidence that record folded in.
+  std::uint64_t last_evidence_id() const { return last_evidence_; }
+
  protected:
   SimTime now() const { return env_.engine->now(); }
   double local_occupancy() const { return env_.local_occupancy(); }
@@ -149,6 +156,13 @@ class DiscoveryProtocol {
     return obs::TraceEvent(now(), self_, kind);
   }
   void trace(const obs::TraceEvent& event) const { env_.tracer->emit(event); }
+
+  /// Allocates the next lineage event id, or 0 when tracing is off — the
+  /// allocator is only ever touched on traced paths, so untraced runs stay
+  /// bit-identical and pay nothing.
+  std::uint64_t issue_trace_id() const {
+    return tracing() ? env_.tracer->issue_id() : 0;
+  }
   std::uint8_t local_security() const {
     return env_.local_security ? env_.local_security() : 255;
   }
@@ -176,6 +190,10 @@ class DiscoveryProtocol {
   ProtocolEnv env_;
   RngStream rng_;  // tie-breaks only; never feeds workload randomness
   std::uint64_t current_episode_ = 0;
+  /// See last_evidence_id(); maintained by the pull schemes' pledge
+  /// handlers (push/gossip candidate refreshes have no per-record trace
+  /// event, so theirs stays 0).
+  std::uint64_t last_evidence_ = 0;
 };
 
 inline DiscoveryProtocol::DiscoveryProtocol(NodeId self,

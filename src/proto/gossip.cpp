@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 GossipProtocol::GossipProtocol(NodeId self, const ProtocolConfig& config,
@@ -43,11 +45,13 @@ std::vector<DigestEntry> GossipProtocol::snapshot_digest() const {
   return out;
 }
 
-void GossipProtocol::send_digest(NodeId to, bool reply) {
+void GossipProtocol::send_digest(NodeId to, bool reply,
+                                 std::uint64_t cause) {
   GossipMsg msg;
   msg.origin = self_;
   msg.reply = reply;
   msg.digest = snapshot_digest();
+  msg.cause = cause;
   env_.transport->unicast(self_, to, Message{msg});
 }
 
@@ -59,6 +63,7 @@ void GossipProtocol::gossip_round() {
   const std::uint32_t fanout = std::min<std::uint32_t>(
       config_.gossip_fanout,
       static_cast<std::uint32_t>(alive_peers.size()));
+  const std::uint64_t round_id = issue_trace_id();  // gossip_round below
   // Partial Fisher-Yates: the first `fanout` entries become this round's
   // targets.
   for (std::uint32_t i = 0; i < fanout; ++i) {
@@ -66,12 +71,13 @@ void GossipProtocol::gossip_round() {
         i + static_cast<std::size_t>(rng_.uniform_index(
                 alive_peers.size() - i));
     std::swap(alive_peers[i], alive_peers[j]);
-    send_digest(alive_peers[i], /*reply=*/false);
+    send_digest(alive_peers[i], /*reply=*/false, round_id);
   }
   if (tracing()) {
     trace(trace_event(obs::EventKind::kGossipRound)
               .with("fanout", fanout)
-              .with("digest_size", digest_.size()));
+              .with("digest_size", digest_.size())
+              .with("id", round_id));
   }
 }
 
@@ -86,6 +92,7 @@ void GossipProtocol::merge(const std::vector<DigestEntry>& digest) {
 }
 
 void GossipProtocol::on_message(NodeId from, const Message& msg) {
+  obs::ProfileScope scope("proto/gossip");
   const auto* gossip = std::get_if<GossipMsg>(&msg);
   if (gossip == nullptr) return;  // HELP/PLEDGE/advert: not our scheme
   merge(gossip->digest);

@@ -48,7 +48,9 @@ class GossipProtocol final : public DiscoveryProtocol {
   void refresh_self_entry();
   std::vector<DigestEntry> snapshot_digest() const;
   void merge(const std::vector<DigestEntry>& digest);
-  void send_digest(NodeId to, bool reply);
+  /// `cause` is the lineage id of the gossip_round event this digest
+  /// belongs to (0 for reply halves / untraced runs).
+  void send_digest(NodeId to, bool reply, std::uint64_t cause = 0);
 
   std::unordered_map<NodeId, DigestEntry> digest_;  // keyed by entry.node
   std::uint64_t self_version_ = 0;

@@ -23,6 +23,11 @@ struct HelpMsg {
   /// echo it so offline analysis can reconstruct the trigger→HELP→PLEDGE→
   /// migration chain. 0 = untracked (harness without an episode source).
   std::uint64_t episode = 0;
+  /// Lineage: id of the trace event that produced this message (the
+  /// sender's help_sent record), so receive-side events can point back at
+  /// their cause and each episode forms an explicit causality DAG. 0 when
+  /// tracing is off — lineage ids are only allocated on traced paths.
+  std::uint64_t cause = 0;
 };
 
 /// "PLEDGE: Hostid, Type(pledge), Resource availability (degree), number of
@@ -44,6 +49,9 @@ struct PledgeMsg {
   /// pledges (Fig. 3 second rule — threshold-crossing updates belong to no
   /// solicitation round).
   std::uint64_t episode = 0;
+  /// Lineage: id of the pledger's pledge_sent trace event (see
+  /// HelpMsg::cause). 0 when tracing is off or the pledge is unsolicited.
+  std::uint64_t cause = 0;
 };
 
 /// Availability advertisement used by the PUSH baselines (flooded).
@@ -52,6 +60,9 @@ struct PushAdvertMsg {
   double availability = 0.0;
   /// Security level of the advertising host (see PledgeMsg).
   std::uint8_t security_level = 255;
+  /// Lineage: id of the sender's advert_sent trace event (see
+  /// HelpMsg::cause). 0 when tracing is off.
+  std::uint64_t cause = 0;
 };
 
 /// One entry of a gossip digest (modern anti-entropy baseline, in the
@@ -71,6 +82,9 @@ struct GossipMsg {
   NodeId origin = kInvalidNode;
   bool reply = false;
   std::vector<DigestEntry> digest;
+  /// Lineage: id of the sender's gossip_round trace event (see
+  /// HelpMsg::cause). 0 when tracing is off or for reply halves.
+  std::uint64_t cause = 0;
 };
 
 using Message = std::variant<HelpMsg, PledgeMsg, PushAdvertMsg, GossipMsg>;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 PurePullProtocol::PurePullProtocol(NodeId self, const ProtocolConfig& config,
@@ -35,17 +37,21 @@ void PurePullProtocol::send_help(double urgency) {
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
   help.episode = open_episode();
+  help.cause = issue_trace_id();  // the help_sent event below
   env_.transport->flood(self_, Message{help});
   ++helps_sent_;
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpSent)
               .with("urgency", urgency)
               .with("members", help.member_count)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", help.cause)
+              .with("backoff", 0.0));
   }
 }
 
 void PurePullProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  obs::ProfileScope scope("proto/pure_pull");
   if (const auto* help = std::get_if<HelpMsg>(&msg)) {
     handle_help(*help);
   } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
@@ -57,12 +63,15 @@ void PurePullProtocol::handle_help(const HelpMsg& help) {
   if (!env_.topology->alive(self_)) return;
   const double occupancy = local_occupancy();
   const bool answered = responder_.should_pledge_on_help(occupancy);
+  const std::uint64_t received_id = issue_trace_id();
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
               .with("answered", answered)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", received_id)
+              .with("cause", help.cause));
   }
   if (!answered) return;
   PledgeMsg pledge;
@@ -72,13 +81,16 @@ void PurePullProtocol::handle_help(const HelpMsg& help) {
   pledge.grant_probability = responder_.grant_probability(now());
   pledge.security_level = local_security();
   pledge.episode = help.episode;
+  pledge.cause = issue_trace_id();  // the pledge_sent event below
   env_.transport->unicast(self_, help.origin, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", help.origin)
               .with("availability", pledge.availability)
               .with("grant_probability", pledge.grant_probability)
-              .with("episode", pledge.episode));
+              .with("episode", pledge.episode)
+              .with("id", pledge.cause)
+              .with("cause", received_id));
   }
 }
 
@@ -86,12 +98,15 @@ void PurePullProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  last_evidence_ = issue_trace_id();  // the pledge_received event below
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
               .with("list_size", pledge_list_.held())
-              .with("episode", pledge.episode));
+              .with("episode", pledge.episode)
+              .with("id", last_evidence_)
+              .with("cause", pledge.cause));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "proto/pure_push.hpp"
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 PurePushProtocol::PurePushProtocol(NodeId self, const ProtocolConfig& config,
@@ -16,11 +18,13 @@ void PurePushProtocol::advertise() {
   advert.origin = self_;
   advert.availability = 1.0 - local_occupancy();
   advert.security_level = local_security();
+  advert.cause = issue_trace_id();  // the advert_sent event below
   env_.transport->flood(self_, Message{advert});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kAdvertSent)
               .with("availability", advert.availability)
-              .with("periodic", true));
+              .with("periodic", true)
+              .with("id", advert.cause));
   }
 }
 
@@ -31,6 +35,7 @@ void PurePushProtocol::on_status_change(double /*occupancy*/) {
 void PurePushProtocol::on_task_arrival(double /*occupancy_with_task*/) {}
 
 void PurePushProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  obs::ProfileScope scope("proto/pure_push");
   if (const auto* advert = std::get_if<PushAdvertMsg>(&msg)) {
     table_.update(advert->origin, advert->availability, now(),
                   advert->security_level);

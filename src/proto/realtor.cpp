@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profile.hpp"
+
 namespace realtor::proto {
 
 namespace {
@@ -57,7 +59,12 @@ void RealtorProtocol::on_status_change(double occupancy) {
 
 void RealtorProtocol::on_task_arrival(double occupancy_with_task) {
   if (!env_.topology->alive(self_)) return;
-  if (!algo_h_.should_send_help(now(), occupancy_with_task)) return;
+  if (!algo_h_.should_send_help(now(), occupancy_with_task)) {
+    // Qualifying demand suppressed by the interval gate: remember when the
+    // wait began so the eventual HELP can report its Algorithm-H backoff.
+    algo_h_.note_blocked(now(), occupancy_with_task);
+    return;
+  }
   send_help(
       std::min(1.0, std::max(0.0, occupancy_with_task - config_.help_threshold)));
 }
@@ -69,11 +76,13 @@ void RealtorProtocol::solicit() {
 }
 
 void RealtorProtocol::send_help(double urgency) {
+  const SimTime backoff = algo_h_.blocked_time(now());
   HelpMsg help;
   help.origin = self_;
   help.member_count = static_cast<std::uint32_t>(pledge_list_.size(now()));
   help.urgency = urgency;
   help.episode = open_episode();
+  help.cause = issue_trace_id();  // the help_sent event below
   env_.transport->flood(self_, Message{help});
   const SimTime timeout = algo_h_.note_help_sent(now());
   help_timer_.arm(timeout, [this] {
@@ -85,11 +94,14 @@ void RealtorProtocol::send_help(double urgency) {
               .with("urgency", urgency)
               .with("interval", algo_h_.interval())
               .with("members", help.member_count)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", help.cause)
+              .with("backoff", backoff));
   }
 }
 
 void RealtorProtocol::on_message(NodeId /*from*/, const Message& msg) {
+  obs::ProfileScope scope("proto/realtor");
   if (const auto* help = std::get_if<HelpMsg>(&msg)) {
     handle_help(*help);
   } else if (const auto* pledge = std::get_if<PledgeMsg>(&msg)) {
@@ -106,12 +118,15 @@ void RealtorProtocol::handle_help(const HelpMsg& help) {
   // communities receive our future unsolicited status updates — the reply
   // itself is unconditional.
   const bool answered = algo_p_.should_pledge_on_help(occupancy);
+  const std::uint64_t received_id = issue_trace_id();
   if (tracing()) {
     trace(trace_event(obs::EventKind::kHelpReceived)
               .with("origin", help.origin)
               .with("urgency", help.urgency)
               .with("answered", answered)
-              .with("episode", help.episode));
+              .with("episode", help.episode)
+              .with("id", received_id)
+              .with("cause", help.cause));
   }
   if (!answered) return;
   const bool was_member = membership_.is_member_of(help.origin, now());
@@ -122,11 +137,12 @@ void RealtorProtocol::handle_help(const HelpMsg& help) {
               .with("organizer", help.origin)
               .with("communities", membership_.count(now())));
   }
-  send_pledge_to(help.origin, occupancy, help.episode);
+  send_pledge_to(help.origin, occupancy, help.episode, received_id);
 }
 
 void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy,
-                                     std::uint64_t episode) {
+                                     std::uint64_t episode,
+                                     std::uint64_t cause) {
   PledgeMsg pledge;
   pledge.pledger = self_;
   pledge.availability = 1.0 - occupancy;
@@ -134,13 +150,16 @@ void RealtorProtocol::send_pledge_to(NodeId organizer, double occupancy,
   pledge.grant_probability = algo_p_.grant_probability(now());
   pledge.security_level = local_security();
   pledge.episode = episode;
+  pledge.cause = issue_trace_id();  // the pledge_sent event below
   env_.transport->unicast(self_, organizer, Message{pledge});
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeSent)
               .with("organizer", organizer)
               .with("availability", pledge.availability)
               .with("grant_probability", pledge.grant_probability)
-              .with("episode", episode));
+              .with("episode", episode)
+              .with("id", pledge.cause)
+              .with("cause", cause));
   }
 }
 
@@ -152,12 +171,15 @@ void RealtorProtocol::handle_pledge(const PledgeMsg& pledge) {
   pledge_list_.update(pledge.pledger, pledge.availability,
                       pledge.grant_probability, now(),
                       pledge.security_level);
+  last_evidence_ = issue_trace_id();  // the pledge_received event below
   if (tracing()) {
     trace(trace_event(obs::EventKind::kPledgeReceived)
               .with("pledger", pledge.pledger)
               .with("availability", pledge.availability)
               .with("list_size", pledge_list_.held())
-              .with("episode", pledge.episode));
+              .with("episode", pledge.episode)
+              .with("id", last_evidence_)
+              .with("cause", pledge.cause));
   }
   if (config_.reward_policy == HelpRewardPolicy::kOnFirstUsefulPledge &&
       pledge.availability > config_.availability_floor) {

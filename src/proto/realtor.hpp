@@ -52,8 +52,10 @@ class RealtorProtocol final : public DiscoveryProtocol {
   void handle_pledge(const PledgeMsg& pledge);
   /// `episode` is the id of the HELP round this pledge answers; 0 for the
   /// unsolicited threshold-crossing updates of Fig. 3's second rule.
+  /// `cause` is the lineage id of the help_received event that triggered
+  /// this pledge (0 for unsolicited pledges / untraced runs).
   void send_pledge_to(NodeId organizer, double occupancy,
-                      std::uint64_t episode = 0);
+                      std::uint64_t episode = 0, std::uint64_t cause = 0);
   /// Emits a help_interval record attributing the change to `reason`
   /// ("timeout" / "reward"); no-op when untraced.
   void trace_interval(const char* reason) const;

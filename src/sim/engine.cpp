@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/profile.hpp"
 
 namespace realtor::sim {
 
@@ -162,6 +163,7 @@ void Engine::run() {
   while (pop_next(time, cb)) {
     now_ = time;
     note_processed();
+    obs::ProfileScope scope("engine/dispatch");
     cb();
   }
 }
@@ -183,6 +185,7 @@ void Engine::run_until(SimTime t) {
     release(top.slot);
     now_ = top.time;
     note_processed();
+    obs::ProfileScope scope("engine/dispatch");
     cb();
   }
   now_ = t;
@@ -196,6 +199,7 @@ std::size_t Engine::step(std::size_t max_events) {
     now_ = time;
     note_processed();
     ++fired;
+    obs::ProfileScope scope("engine/dispatch");
     cb();
   }
   return fired;

@@ -273,6 +273,130 @@ TEST(FlightRecorder, AttackDumpCapturesThePreKillWindow) {
   std::remove(path.c_str());
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a small single-ring dump and returns its bytes plus the offset
+/// where the packed records begin (records are fixed-width and occupy the
+/// file's tail, so the offset falls out of the sizes).
+std::string small_dump(const std::string& path, std::uint64_t records,
+                       std::size_t& records_begin) {
+  FlightRecorder recorder(/*capacity_per_ring=*/64);
+  FlightRing& ring = recorder.ring(0);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    ring.on_event(numbered(static_cast<double>(i), i));
+  }
+  EXPECT_TRUE(recorder.dump(path));
+  const std::string bytes = slurp(path);
+  records_begin = bytes.size() - records * sizeof(FlightRecord);
+  return bytes;
+}
+
+TEST(FlightReader, ByteTruncatedDumpsSalvageOrFailButNeverCrash) {
+  const std::string path = temp_path("flight_truncation_fuzz.bin");
+  std::size_t records_begin = 0;
+  constexpr std::uint64_t kRecords = 12;
+  const std::string full = small_dump(path, kRecords, records_begin);
+  ASSERT_GT(records_begin, sizeof(kFlightMagic));
+  ASSERT_EQ((full.size() - records_begin) % sizeof(FlightRecord), 0u);
+
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    spit(path, full.substr(0, len));
+    FlightDump dump;
+    std::string error;
+    const bool loaded = load_flight_file(path, dump, &error);
+    if (len < records_begin) {
+      // The cut landed in the header (magic, name table, ring count or
+      // the first ring header): nothing salvageable, clean failure.
+      EXPECT_FALSE(loaded);
+      EXPECT_FALSE(error.empty());
+      continue;
+    }
+    ASSERT_TRUE(loaded) << error;
+    // Salvage accounting: every record the ring header promised is either
+    // a parsed event or counted as unrecoverable — none vanish silently.
+    ASSERT_EQ(dump.rings.size(), 1u);
+    EXPECT_EQ(dump.events.size() + dump.malformed, kRecords);
+    const std::uint64_t intact =
+        (len - records_begin) / sizeof(FlightRecord);
+    EXPECT_EQ(dump.events.size(), intact);
+    EXPECT_EQ(dump.truncated, len < full.size());
+    if (len == full.size()) {
+      EXPECT_EQ(dump.malformed, 0u);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightReader, CorruptRecordIsCountedAndTheRestStillLoad) {
+  const std::string path = temp_path("flight_corrupt_record.bin");
+  std::size_t records_begin = 0;
+  constexpr std::uint64_t kRecords = 8;
+  std::string bytes = small_dump(path, kRecords, records_begin);
+
+  // Stamp an impossible event kind into record 3. The kind byte follows
+  // the record's time, episode and node fields.
+  constexpr std::size_t kKindOffset = sizeof(double) +
+                                      sizeof(std::uint64_t) +
+                                      sizeof(std::uint32_t);
+  bytes[records_begin + 3 * sizeof(FlightRecord) + kKindOffset] =
+      static_cast<char>(0xFF);
+  spit(path, bytes);
+
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(load_flight_file(path, dump, &error)) << error;
+  // Fixed-width records keep the cursor aligned past the damage: exactly
+  // one record is lost, the remaining seven parse normally.
+  EXPECT_EQ(dump.malformed, 1u);
+  EXPECT_FALSE(dump.truncated);
+  ASSERT_EQ(dump.events.size(), kRecords - 1);
+  for (const ParsedEvent& event : dump.events) {
+    EXPECT_EQ(event.kind, "help_sent");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightReader, SecondRingHeaderCutSalvagesTheFirstRing) {
+  const std::string path = temp_path("flight_multiring_cut.bin");
+  FlightRecorder recorder(16);
+  FlightRing& a = recorder.ring(10);
+  FlightRing& b = recorder.ring(11);
+  a.on_event(numbered(1.0, 0));
+  a.on_event(numbered(2.0, 1));
+  b.on_event(numbered(3.0, 2));
+  ASSERT_TRUE(recorder.dump(path));
+  std::string bytes = slurp(path);
+
+  // Cut inside the second ring's header: its records and counters are
+  // gone, but ring 10 is intact and must survive.
+  const std::size_t second_header_begin = bytes.size() -
+                                          sizeof(FlightRecord) -
+                                          sizeof(FlightRingInfo);
+  spit(path, bytes.substr(0, second_header_begin + 4));
+
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(load_flight_file(path, dump, &error)) << error;
+  EXPECT_TRUE(dump.truncated);
+  ASSERT_EQ(dump.rings.size(), 1u);
+  EXPECT_EQ(dump.rings[0].source, 10u);
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(dump.events[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(dump.events[1].time, 2.0);
+  std::remove(path.c_str());
+}
+
 TEST(FlightDumpSink, DumpsOnFlushAndOnDestruction) {
   const std::string path = temp_path("flight_dump_sink.bin");
   {

@@ -14,10 +14,13 @@
 #include <tuple>
 #include <vector>
 
+#include <map>
+
 #include "common/parallel.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/sweep.hpp"
 #include "net/message_ledger.hpp"
+#include "obs/jsonl_sink.hpp"
 #include "obs/trace.hpp"
 
 namespace realtor::experiment {
@@ -155,6 +158,84 @@ TEST(ParallelSweep, TraceSinkFactoryCalledOncePerRun) {
   // Every (protocol, lambda, rep) combination got its own sink.
   EXPECT_EQ(log.runs.size(), 2u * 3u * 3u);
   EXPECT_GT(events.load(), 0);
+}
+
+/// Sink that renders every record to its JSONL line in arrival order —
+/// the full byte-level trace of one run, episode ids, lineage ids and
+/// causes included.
+class RecordingSink final : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& event) override {
+    text_ += obs::format_jsonl(event);
+    text_ += '\n';
+  }
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+TEST(ParallelSweep, EpisodeAndLineageIdsByteIdenticalAcrossJobs) {
+  using Key = std::tuple<int, double, std::uint32_t>;
+  // Each run writes into its own sink; the map is only read after
+  // run_sweep returns, and distinct runs never share a sink, so the
+  // worker threads touch disjoint entries.
+  const auto record_traces = [](unsigned jobs) {
+    std::map<Key, std::shared_ptr<RecordingSink>> sinks;
+    std::mutex mu;
+    SweepOptions options = grid_options(jobs);
+    std::vector<std::shared_ptr<RecordingSink>> keep_alive;
+    options.make_trace_sink =
+        [&](proto::ProtocolKind kind, double lambda, std::uint32_t rep)
+        -> std::unique_ptr<obs::TraceSink> {
+      auto sink = std::make_shared<RecordingSink>();
+      {
+        const std::scoped_lock lock(mu);
+        sinks[Key{static_cast<int>(kind), lambda, rep}] = sink;
+        keep_alive.push_back(sink);
+      }
+      // The sweep owns a forwarding wrapper; the shared_ptr keeps the
+      // recorded text alive after the run's sink is destroyed.
+      class Forward final : public obs::TraceSink {
+       public:
+        explicit Forward(std::shared_ptr<RecordingSink> to)
+            : to_(std::move(to)) {}
+        void on_event(const obs::TraceEvent& event) override {
+          to_->on_event(event);
+        }
+
+       private:
+        std::shared_ptr<RecordingSink> to_;
+      };
+      return std::make_unique<Forward>(std::move(sink));
+    };
+    run_sweep(fast_base(), options);
+    std::map<Key, std::string> out;
+    for (const auto& [key, sink] : sinks) out[key] = sink->text();
+    return out;
+  };
+
+  const auto serial = record_traces(1);
+  const auto parallel = record_traces(4);
+  ASSERT_EQ(serial.size(), 2u * 3u * 3u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  std::size_t with_lineage = 0;
+  for (const auto& [key, text] : serial) {
+    const auto it = parallel.find(key);
+    ASSERT_NE(it, parallel.end());
+    // Byte-identical JSONL per (protocol, lambda, rep): episode ids and
+    // lineage id/cause fields must not depend on worker scheduling.
+    EXPECT_EQ(text, it->second)
+        << "protocol " << std::get<0>(key) << " lambda "
+        << std::get<1>(key) << " rep " << std::get<2>(key);
+    if (text.find("\"id\"") != std::string::npos &&
+        text.find("\"cause\"") != std::string::npos) {
+      ++with_lineage;
+    }
+  }
+  // Underloaded cells never solicit help and carry no lineage; the
+  // overloaded cells must, or the comparison above proves nothing.
+  EXPECT_GT(with_lineage, 0u);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

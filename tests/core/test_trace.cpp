@@ -304,10 +304,16 @@ TEST(HistogramQuantiles, ExactWithinReservoir) {
 
 TEST(HistogramQuantiles, EmptyAndSingle) {
   Histogram histogram;
+  // Empty: no defined quantile anywhere on [0, 1] — report 0.
   EXPECT_DOUBLE_EQ(histogram.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 0.0);
+  // One sample IS every quantile, extremes included.
   histogram.observe(4.25);
   EXPECT_DOUBLE_EQ(histogram.p50(), 4.25);
   EXPECT_DOUBLE_EQ(histogram.p99(), 4.25);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 4.25);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 4.25);
   histogram.reset();
   EXPECT_DOUBLE_EQ(histogram.p50(), 0.0);
   EXPECT_EQ(histogram.stats().count(), 0u);

@@ -22,6 +22,10 @@
 //                                          # smaller ring, explicit dump
 //                                          # path; attack waves also dump
 //                                          # run.bin.attack<k>.bin
+//   realtor_sim --profile                  # hierarchical self-profiler:
+//                                          # per-scope wall time tree
+//   realtor_sim --profile=prof.tsv         # ... also dumped as TSV for
+//                                          # realtor_trace --export=perfetto
 //   realtor_sim --sweep=1,2,4,8 --reps=5   # protocol comparison sweep
 //   realtor_sim --sweep=2,8 --jobs=4       # sweep on 4 worker threads
 //                                          # (byte-identical output; 0 =
@@ -34,11 +38,13 @@
 // also execute in serial order.
 //
 // See experiment/cli_config.hpp for the complete flag list.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 
+#include "common/profile.hpp"
 #include "experiment/cli_config.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/report.hpp"
@@ -116,6 +122,33 @@ int run_single(const Flags& flags) {
       });
     }
   };
+  // --profile[=out.tsv]: arm the self-profiler for this run; report the
+  // scope tree at the end (and dump it as TSV when a path was given, for
+  // realtor_trace --export=perfetto --profile=out.tsv).
+  const bool profile_enabled = flags.has("profile");
+  const std::string profile_out = flags.get_string("profile", "");
+  if (profile_enabled) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
+  const auto report_profile = [&] {
+    if (!profile_enabled) return;
+    obs::Profiler::instance().set_enabled(false);
+    const std::vector<obs::ProfileEntry> entries =
+        obs::Profiler::instance().snapshot();
+    // A bare --profile stores "true" (no dump path, report only).
+    if (!profile_out.empty() && profile_out != "true") {
+      std::ofstream out(profile_out);
+      if (out) {
+        obs::write_profile_tsv(out, entries);
+        std::cout << "profile: " << entries.size() << " scopes -> "
+                  << profile_out << '\n';
+      } else {
+        std::cerr << "cannot write " << profile_out << '\n';
+      }
+    }
+    std::cout << obs::render_profile_text(entries);
+  };
   const auto report_trace = [&] {
     if (event_sink) {
       std::cout << "trace: " << event_sink->lines_written()
@@ -161,6 +194,7 @@ int run_single(const Flags& flags) {
                              std::string("replay of ") + trace_in, sim,
                              flags.get_bool("verbose", false));
     report_trace();
+    report_profile();
     return 0;
   }
 
@@ -190,6 +224,7 @@ int run_single(const Flags& flags) {
   experiment::print_report(std::cout, title, sim,
                            flags.get_bool("verbose", false));
   report_trace();
+  report_profile();
   return 0;
 }
 

@@ -21,18 +21,39 @@
 //   realtor_trace run.jsonl --format=csv     # machine-readable event/
 //                                            # episode tables
 //   realtor_trace run.jsonl --limit=50       # cap timeline/episode rows
+//   realtor_trace run.jsonl --critical-path  # per-episode lineage walk:
+//                                            # latency attributed to named
+//                                            # phases, p50/p90/p99 tables
+//   realtor_trace run.jsonl --critical-path --blame=10
+//                                            # top-K slowest lineage edges
+//   realtor_trace run.jsonl --critical-path --check
+//                                            # structural gate: phases of
+//                                            # every path must telescope
+//   realtor_trace run.jsonl --export=perfetto --out=run.perfetto-trace
+//                                            # Chrome-trace JSON for
+//                                            # ui.perfetto.dev; add
+//                                            # --profile=prof.tsv to merge
+//                                            # a realtor_sim --profile dump
 //
 // --check replays the paper's algorithmic guarantees over the trace (see
 // obs/invariants.hpp for the catalog); parameters of the traced run can be
 // overridden with --alpha --beta --initial-interval --upper-limit
 // --interval-floor --pledge-threshold --tolerance.
 //
-// Malformed JSONL lines (non-empty, unparsable) are skipped but counted:
-// every mode reports the count on stderr with the first offending line,
-// and --check exits nonzero when any line was dropped — an analysis that
-// silently ignored part of its input must not report a clean bill.
+// Damaged input is skipped but counted — malformed JSONL lines, and
+// unrecoverable records in truncated/corrupt flight dumps: every mode
+// reports the count on stderr, and the --check gates treat any dropped
+// input as a violation — an analysis that silently ignored part of its
+// input must not report a clean bill.
+//
+// Exit codes (relied on by CI):
+//   0  analysis ran and every requested gate passed
+//   1  bad usage or unreadable input (bad path, bad magic, bad flag)
+//   2  a gate tripped: invariant violation, critical-path inconsistency,
+//      or dropped input under --check
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
@@ -40,8 +61,11 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/profile.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/flight_reader.hpp"
 #include "obs/invariants.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/scorecard.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +74,10 @@
 namespace {
 
 using namespace realtor;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitViolation = 2;
 
 struct KindSummary {
   std::uint64_t count = 0;
@@ -326,7 +354,7 @@ int run_check(const std::vector<obs::ParsedEvent>& events,
     std::printf("OK: %llu records, %llu episodes, all invariants hold\n",
                 static_cast<unsigned long long>(events.size()),
                 static_cast<unsigned long long>(episodes.size()));
-    return 0;
+    return kExitOk;
   }
   for (const obs::Violation& violation : violations) {
     std::printf("VIOLATION %-26s t=%.3f node=%llu  %s\n",
@@ -337,7 +365,80 @@ int run_check(const std::vector<obs::ParsedEvent>& events,
   std::printf("%llu violation(s) in %llu records\n",
               static_cast<unsigned long long>(violations.size()),
               static_cast<unsigned long long>(events.size()));
-  return 2;
+  return kExitViolation;
+}
+
+/// --critical-path [--blame[=K]] [--top=K] [--check]: lineage-walk every
+/// episode, print the phase-attribution table, optionally the top-K
+/// slowest edges, and optionally gate on structural consistency.
+int run_critical_path(const std::vector<obs::ParsedEvent>& events,
+                      const Flags& flags, std::uint64_t dropped_input) {
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+  const obs::CriticalPathAnalysis analysis =
+      obs::analyze_critical_paths(spans);
+  std::fputs(obs::render_critical_path(analysis).c_str(), stdout);
+  if (flags.has("blame")) {
+    const std::int64_t top_k =
+        flags.get_int("top", flags.get_int("blame", 10));
+    std::fputs(
+        obs::render_blame(analysis,
+                          top_k > 0 ? static_cast<std::size_t>(top_k) : 10)
+            .c_str(),
+        stdout);
+  }
+  if (!flags.get_bool("check", false)) return kExitOk;
+
+  const std::vector<std::string> violations =
+      obs::check_critical_paths(analysis);
+  for (const std::string& violation : violations) {
+    std::printf("VIOLATION critical_path  %s\n", violation.c_str());
+  }
+  if (!violations.empty()) return kExitViolation;
+  if (dropped_input > 0) {
+    std::printf("FAIL: %llu record(s)/line(s) were dropped from the input "
+                "— the paths above cover only what parsed\n",
+                static_cast<unsigned long long>(dropped_input));
+    return kExitViolation;
+  }
+  std::printf("OK: %llu critical path(s) structurally consistent\n",
+              static_cast<unsigned long long>(analysis.paths.size()));
+  return kExitOk;
+}
+
+/// --export=perfetto [--profile=FILE] [--out=FILE]: Chrome-trace JSON.
+int run_export_perfetto(const std::vector<obs::ParsedEvent>& events,
+                        const Flags& flags) {
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+  const obs::CriticalPathAnalysis analysis =
+      obs::analyze_critical_paths(spans);
+  std::vector<obs::ProfileEntry> profile;
+  const std::string profile_path = flags.get_string("profile", "");
+  if (!profile_path.empty()) {
+    std::ifstream in(profile_path);
+    if (!in) {
+      std::cerr << "cannot open --profile file: " << profile_path << '\n';
+      return kExitUsage;
+    }
+    profile = obs::parse_profile_tsv(in);
+  }
+  const std::vector<obs::ChromeEvent> chrome =
+      obs::build_chrome_events(spans, analysis, profile);
+  const std::string json = obs::render_chrome_json(chrome);
+  const std::string out_path = flags.get_string("out", "");
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return kExitOk;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open --out file: " << out_path << '\n';
+    return kExitUsage;
+  }
+  out << json;
+  std::printf("wrote %llu trace events to %s (load in ui.perfetto.dev)\n",
+              static_cast<unsigned long long>(chrome.size()),
+              out_path.c_str());
+  return kExitOk;
 }
 
 }  // namespace
@@ -352,21 +453,28 @@ int main(int argc, char** argv) {
     std::cout << "usage: realtor_trace <run.jsonl|flight.bin> "
                  "[--node=<id>] [--kind=<name>] [--intervals] "
                  "[--episodes] [--check] [--scorecard] "
+                 "[--critical-path] [--blame[=<k>]] [--top=<k>] "
+                 "[--export=perfetto] [--profile=<tsv>] [--out=<file>] "
                  "[--format=csv|json] [--limit=<n>]\n"
                  "--check options: --initial-interval --upper-limit "
                  "--interval-floor --alpha --beta --pledge-threshold "
-                 "--tolerance\n";
-    return path.empty() ? 1 : 0;
+                 "--tolerance\n"
+                 "exit codes: 0 ok, 1 usage/unreadable input, "
+                 "2 gate violation\n";
+    return path.empty() ? kExitUsage : kExitOk;
   }
 
   std::vector<obs::ParsedEvent> events;
   obs::TraceLoadStats load_stats;
   std::string error;
+  // Input records/lines that were skipped rather than analyzed; any
+  // --check gate refuses a clean verdict while this is non-zero.
+  std::uint64_t dropped_input = 0;
   if (obs::is_flight_file(path)) {
     obs::FlightDump dump;
     if (!obs::load_flight_file(path, dump, &error)) {
       std::cerr << path << ": " << error << '\n';
-      return 1;
+      return kExitUsage;
     }
     events = std::move(dump.events);
     if (dump.total_dropped() > 0) {
@@ -374,10 +482,17 @@ int main(int argc, char** argv) {
                 << dump.total_dropped()
                 << " oldest record(s) before the dump\n";
     }
+    if (dump.malformed > 0) {
+      std::cerr << path << ": "
+                << (dump.truncated ? "truncated dump, " : "")
+                << dump.malformed
+                << " unrecoverable record(s) skipped\n";
+    }
+    dropped_input = dump.malformed;
   } else {
     if (!obs::load_trace_file(path, events, load_stats, &error)) {
       std::cerr << path << ": " << error << '\n';
-      return 1;
+      return kExitUsage;
     }
     if (load_stats.malformed > 0) {
       std::cerr << path << ": skipped " << load_stats.malformed
@@ -385,6 +500,7 @@ int main(int argc, char** argv) {
                 << load_stats.first_malformed_line << ": "
                 << load_stats.first_error << '\n';
     }
+    dropped_input = load_stats.malformed;
   }
 
   const std::string format = flags.get_string("format", "text");
@@ -393,18 +509,32 @@ int main(int argc, char** argv) {
       !(format == "json" && scorecard_mode)) {
     std::cerr << "unknown --format: " << format
               << " (text|csv; json with --scorecard)\n";
-    return 1;
+    return kExitUsage;
   }
   const bool csv = format == "csv";
 
+  if (flags.has("export")) {
+    const std::string export_format = flags.get_string("export", "");
+    if (export_format != "perfetto") {
+      std::cerr << "unknown --export: " << export_format
+                << " (perfetto)\n";
+      return kExitUsage;
+    }
+    return run_export_perfetto(events, flags);
+  }
+
+  if (flags.get_bool("critical-path", false) || flags.has("blame")) {
+    return run_critical_path(events, flags, dropped_input);
+  }
+
   if (flags.get_bool("check", false)) {
     const int result = run_check(events, flags);
-    if (result == 0 && load_stats.malformed > 0) {
-      std::printf("FAIL: %llu malformed line(s) were dropped from the "
-                  "input — the clean verdict above covers only what "
-                  "parsed\n",
-                  static_cast<unsigned long long>(load_stats.malformed));
-      return 1;
+    if (result == kExitOk && dropped_input > 0) {
+      std::printf("FAIL: %llu malformed record(s)/line(s) were dropped "
+                  "from the input — the clean verdict above covers only "
+                  "what parsed\n",
+                  static_cast<unsigned long long>(dropped_input));
+      return kExitViolation;
     }
     return result;
   }
@@ -415,7 +545,7 @@ int main(int argc, char** argv) {
                                 ? obs::render_scorecard_json(scorecard)
                                 : obs::render_scorecard_text(scorecard);
     std::fputs(out.c_str(), stdout);
-    return 0;
+    return kExitOk;
   }
 
   if (flags.get_bool("episodes", false)) {
@@ -427,12 +557,12 @@ int main(int argc, char** argv) {
       print_episodes(episodes,
                      static_cast<std::uint64_t>(flags.get_int("limit", 50)));
     }
-    return 0;
+    return kExitOk;
   }
 
   if (flags.get_bool("intervals", false)) {
     print_intervals(events);
-    return 0;
+    return kExitOk;
   }
 
   const bool filter_node = flags.has("node");
@@ -443,18 +573,18 @@ int main(int argc, char** argv) {
     obs::EventKind parsed;
     if (!obs::parse_event_kind(kind, parsed)) {
       std::cerr << "unknown event kind: " << kind << '\n';
-      return 1;
+      return kExitUsage;
     }
   }
   if (csv) {
     print_events_csv(events, filter_node, node, filter_kind, kind);
-    return 0;
+    return kExitOk;
   }
   if (filter_node || filter_kind) {
     print_timeline(events, filter_node, node, filter_kind, kind,
                    static_cast<std::uint64_t>(flags.get_int("limit", 100)));
-    return 0;
+    return kExitOk;
   }
   print_summary(events);
-  return 0;
+  return kExitOk;
 }

@@ -35,9 +35,7 @@ void apply_topology_flags(const Flags& flags, ScenarioConfig& config) {
   config.approx_path_stats = flags.get_bool("approx-paths", false);
 }
 
-namespace {
-
-std::vector<AttackWave> parse_attacks(const std::string& spec) {
+std::vector<AttackWave> parse_attack_waves(const std::string& spec) {
   // "time:count:grace:outage" entries separated by commas.
   std::vector<AttackWave> waves;
   std::istringstream stream(spec);
@@ -53,8 +51,6 @@ std::vector<AttackWave> parse_attacks(const std::string& spec) {
   }
   return waves;
 }
-
-}  // namespace
 
 ScenarioConfig scenario_from_flags(const Flags& flags) {
   ScenarioConfig config;
@@ -113,7 +109,7 @@ ScenarioConfig scenario_from_flags(const Flags& flags) {
 
   // Attacks.
   if (flags.has("attack")) {
-    config.attacks = parse_attacks(flags.get_string("attack", ""));
+    config.attacks = parse_attack_waves(flags.get_string("attack", ""));
   }
 
   // Extensions.

@@ -29,6 +29,11 @@ namespace realtor::experiment {
 /// Builds a ScenarioConfig from command-line flags.
 ScenarioConfig scenario_from_flags(const Flags& flags);
 
+/// Parses a comma-separated "time:count:grace:outage" attack list (the
+/// --attack flag grammar); malformed entries are skipped. Shared with
+/// --attack-sweep, whose ';'-separated chunks each use this grammar.
+std::vector<AttackWave> parse_attack_waves(const std::string& spec);
+
 /// Maps a --topology flag value to its TopologyKind (unknown names fall
 /// back to the paper's mesh). Shared with the bench binaries so their
 /// sweeps reach the same shapes as the CLI.

@@ -2,6 +2,7 @@
 
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -15,31 +16,24 @@ namespace realtor::experiment {
 
 namespace {
 
-/// One (protocol, lambda, replication) grid point in serial order.
-struct RunSpec {
-  proto::ProtocolKind kind;
-  double lambda;
-  std::uint32_t rep;
-};
+std::size_t set_count(const SweepOptions& options) {
+  return options.attack_sets.empty() ? 1 : options.attack_sets.size();
+}
 
-RunMetrics run_one(const ScenarioConfig& base, const SweepOptions& options,
-                   const RunSpec& spec) {
+ScenarioConfig config_for(const ScenarioConfig& base,
+                          const SweepOptions& options, const RunId& id) {
   ScenarioConfig config = base;
-  config.protocol_kind = spec.kind;
-  config.lambda = spec.lambda;
+  config.protocol_kind = id.kind;
+  config.lambda = id.lambda;
   // Workload seed depends on (base seed, lambda, rep) only — not on the
-  // protocol — giving common random numbers across the five curves.
-  config.seed = base.seed + 1000003ULL * spec.rep +
-                static_cast<std::uint64_t>(spec.lambda * 1e6);
-  std::unique_ptr<obs::TraceSink> sink;
-  if (options.make_trace_sink) {
-    sink = options.make_trace_sink(spec.kind, spec.lambda, spec.rep);
+  // protocol or attack set — giving common random numbers across the five
+  // curves and a shared pre-attack prefix across the attack sets.
+  config.seed = base.seed + 1000003ULL * id.rep +
+                static_cast<std::uint64_t>(id.lambda * 1e6);
+  if (!options.attack_sets.empty()) {
+    config.attacks = options.attack_sets[id.attack_set];
   }
-  Simulation simulation(config);
-  if (sink) simulation.set_trace_sink(sink.get());
-  RunMetrics metrics = simulation.run();
-  if (sink) sink->flush();
-  return metrics;
+  return config;
 }
 
 void accumulate(SweepCell& cell, const RunMetrics& m) {
@@ -65,64 +59,122 @@ void accumulate(SweepCell& cell, const RunMetrics& m) {
 
 }  // namespace
 
+std::vector<RunId> sweep_run_ids(const SweepOptions& options) {
+  const std::size_t sets = set_count(options);
+  std::vector<RunId> ids;
+  ids.reserve(options.protocols.size() * options.lambdas.size() * sets *
+              options.replications);
+  for (const proto::ProtocolKind kind : options.protocols) {
+    for (const double lambda : options.lambdas) {
+      for (std::size_t set = 0; set < sets; ++set) {
+        for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+          ids.push_back(RunId{kind, lambda, set, rep});
+        }
+      }
+    }
+  }
+  return ids;
+}
+
+std::vector<ScenarioConfig> sweep_point_configs(const ScenarioConfig& base,
+                                                const SweepOptions& options) {
+  std::vector<ScenarioConfig> configs;
+  const std::vector<RunId> ids = sweep_run_ids(options);
+  configs.reserve(ids.size());
+  for (const RunId& id : ids) {
+    configs.push_back(config_for(base, options, id));
+  }
+  return configs;
+}
+
+std::string run_label(const RunId& id) {
+  std::ostringstream os;
+  os << proto::to_string(id.kind) << " lambda=" << format_double(id.lambda, 3)
+     << " set=" << id.attack_set << " rep=" << id.rep;
+  return os.str();
+}
+
 std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
                                  const SweepOptions& options) {
   REALTOR_ASSERT(!options.lambdas.empty());
   REALTOR_ASSERT(!options.protocols.empty());
   REALTOR_ASSERT(options.replications >= 1);
 
+  const std::size_t sets = set_count(options);
   std::vector<SweepCell> cells;
-  cells.reserve(options.lambdas.size() * options.protocols.size());
+  cells.reserve(options.lambdas.size() * options.protocols.size() * sets);
 
+  const std::vector<RunId> ids = sweep_run_ids(options);
   const unsigned jobs = resolve_jobs(options.jobs);
-  if (jobs <= 1) {
+  if (options.exec == SweepExec::kThread && jobs <= 1) {
     // Serial reference path: run and merge in one streaming pass, so
     // on_run reports live progress.
+    std::size_t index = 0;
     for (const proto::ProtocolKind kind : options.protocols) {
       for (const double lambda : options.lambdas) {
-        SweepCell cell;
-        cell.kind = kind;
-        cell.lambda = lambda;
-        for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
-          accumulate(cell, run_one(base, options, {kind, lambda, rep}));
-          if (options.on_run) options.on_run(cell, rep);
+        for (std::size_t set = 0; set < sets; ++set) {
+          SweepCell cell;
+          cell.kind = kind;
+          cell.lambda = lambda;
+          cell.attack_set = set;
+          for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+            const RunId& id = ids[index];
+            std::unique_ptr<obs::TraceSink> sink;
+            if (options.make_trace_sink) sink = options.make_trace_sink(id);
+            Simulation simulation(config_for(base, options, id));
+            if (sink) simulation.set_trace_sink(sink.get());
+            accumulate(cell, simulation.run());
+            if (sink) sink->flush();
+            if (options.on_run) options.on_run(cell, rep);
+            ++index;
+          }
+          cells.push_back(std::move(cell));
         }
-        cells.push_back(std::move(cell));
       }
     }
     return cells;
   }
 
-  // Parallel path: fan the independent runs out, then merge the per-run
-  // metrics in exactly the serial order. OnlineStats accumulation and
-  // ledger merging see the same values in the same sequence as the serial
-  // path, so the aggregates are byte-identical.
-  std::vector<RunSpec> runs;
-  runs.reserve(options.protocols.size() * options.lambdas.size() *
-               options.replications);
-  for (const proto::ProtocolKind kind : options.protocols) {
-    for (const double lambda : options.lambdas) {
-      for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
-        runs.push_back(RunSpec{kind, lambda, rep});
-      }
-    }
+  // Fan the independent runs out — worker threads, or warm-start forked
+  // children under exec=fork — then merge the per-run metrics in exactly
+  // the serial order. OnlineStats accumulation and ledger merging see the
+  // same values in the same sequence as the serial path, so the
+  // aggregates are byte-identical across jobs values and exec modes.
+  const std::vector<ScenarioConfig> configs = sweep_point_configs(base,
+                                                                  options);
+  WarmStartOptions warm;
+  warm.exec = options.exec;
+  warm.jobs = options.jobs;
+  warm.child_hook = options.child_hook;
+  if (options.make_trace_sink) {
+    warm.make_sink = [&](std::size_t point) {
+      return options.make_trace_sink(ids[point]);
+    };
   }
-  std::vector<RunMetrics> results(runs.size());
-  parallel_for(runs.size(), jobs, [&](std::size_t i) {
-    results[i] = run_one(base, options, runs[i]);
-  });
+  const WarmStartOutcome outcome = run_warm_start(configs, warm);
+  if (!outcome.all_ok()) {
+    std::ostringstream os;
+    os << "sweep execution failed:";
+    for (const std::string& line : outcome.failures()) {
+      os << "\n  " << line;
+    }
+    throw std::runtime_error(os.str());
+  }
 
   std::size_t index = 0;
   for (const proto::ProtocolKind kind : options.protocols) {
     for (const double lambda : options.lambdas) {
-      SweepCell cell;
-      cell.kind = kind;
-      cell.lambda = lambda;
-      for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
-        accumulate(cell, results[index++]);
-        if (options.on_run) options.on_run(cell, rep);
+      for (std::size_t set = 0; set < sets; ++set) {
+        SweepCell cell;
+        cell.kind = kind;
+        cell.lambda = lambda;
+        cell.attack_set = set;
+        for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+          accumulate(cell, outcome.results[index++].metrics);
+          if (options.on_run) options.on_run(cell, rep);
+        }
+        cells.push_back(std::move(cell));
       }
-      cells.push_back(std::move(cell));
     }
   }
   return cells;
@@ -148,15 +200,16 @@ RunSinkFactory make_run_sink_factory(RunSinkOptions options) {
     return {};
   }
   return [options = std::move(options)](
-             proto::ProtocolKind kind, double lambda,
-             std::uint32_t rep) -> std::unique_ptr<obs::TraceSink> {
+             const RunId& id) -> std::unique_ptr<obs::TraceSink> {
     const bool flight = !options.flight_prefix.empty();
     std::ostringstream name;
     name << (flight ? options.flight_prefix : options.jsonl_prefix) << '.'
-         << proto::to_string(kind) << ".lambda" << format_double(lambda, 3)
-         << ".rep" << rep << (flight ? ".bin" : ".jsonl");
+         << proto::to_string(id.kind) << ".lambda"
+         << format_double(id.lambda, 3);
+    if (options.attack_suffix) name << ".att" << id.attack_set;
+    name << ".rep" << id.rep << (flight ? ".bin" : ".jsonl");
     if (flight) {
-      // Dumps on flush (run_one flushes after the run) or destruction.
+      // Dumps on flush (the run flushes after completion) or destruction.
       return std::make_unique<obs::FlightDumpSink>(name.str(),
                                                    options.flight_capacity);
     }

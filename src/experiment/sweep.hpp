@@ -4,32 +4,56 @@
 // sweep gives each (lambda, replication) cell one workload seed shared by
 // every protocol, so curve differences are protocol differences.
 //
-// Execution model: every (protocol, lambda, replication) run is an
-// independent simulation with a seed derived from (base seed, lambda, rep)
-// alone, so the grid fans out across `jobs` worker threads and the
+// Execution model: every (protocol, lambda, attack set, replication) run
+// is an independent simulation with a seed derived from (base seed,
+// lambda, rep) alone, so the grid fans out across `jobs` workers and the
 // per-run metrics are merged back in the fixed serial order
-// (protocol-major, lambda, then replication). Aggregates, confidence
-// intervals and report tables are therefore byte-identical for every jobs
-// value — parallelism changes wall-clock time only.
+// (protocol-major, lambda, attack set, then replication). Two backends
+// share that merge:
+//
+//   - SweepExec::kThread — in-process worker threads (the portable
+//     reference path).
+//   - SweepExec::kFork — warm-start execution: points sharing a
+//     pre-attack prefix are grouped by the planner in warm_start.hpp, the
+//     prefix simulates once per class and each point finishes in a forked
+//     copy-on-write child. Linux only; other platforms and non-forkable
+//     points fall back to thread execution.
+//
+// Aggregates, confidence intervals and report tables are byte-identical
+// for every jobs value and both exec modes — parallelism and snapshotting
+// change wall-clock time only.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "experiment/metrics.hpp"
 #include "experiment/scenario.hpp"
+#include "experiment/warm_start.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace realtor::experiment {
 
-/// Aggregated results of one (protocol, lambda) cell across replications.
+/// Identity of one sweep run in the grid. attack_set indexes
+/// SweepOptions::attack_sets (always 0 when no sets are configured).
+struct RunId {
+  proto::ProtocolKind kind = proto::ProtocolKind::kRealtor;
+  double lambda = 0.0;
+  std::size_t attack_set = 0;
+  std::uint32_t rep = 0;
+};
+
+/// Aggregated results of one (protocol, lambda, attack set) cell across
+/// replications.
 struct SweepCell {
   proto::ProtocolKind kind = proto::ProtocolKind::kRealtor;
   double lambda = 0.0;
+  std::size_t attack_set = 0;
   OnlineStats admission_probability;
   OnlineStats total_messages;
   OnlineStats messages_per_admitted;
@@ -44,30 +68,58 @@ struct SweepOptions {
   std::vector<proto::ProtocolKind> protocols;
   std::uint32_t replications = 10;
 
-  /// Worker threads for the run fan-out: 0 (the default) uses one worker
-  /// per hardware thread, 1 runs the serial reference path on the calling
-  /// thread, N uses exactly N. Results are identical for every value.
+  /// Attack schedules to sweep over. Empty (the default) keeps the base
+  /// config's attack list untouched; otherwise each set replaces
+  /// base.attacks for its slice of the grid. The run seed does not depend
+  /// on the set, so all sets of a (lambda, rep) cell share one workload —
+  /// and one warm-start prefix, which is what the fork executor snapshots.
+  std::vector<std::vector<AttackWave>> attack_sets;
+
+  /// Execution backend; kFork needs fork_exec_supported() and otherwise
+  /// falls back to threads. Results are identical either way.
+  SweepExec exec = SweepExec::kThread;
+
+  /// Worker bound for the run fan-out (threads or live forked children):
+  /// 0 (the default) uses one per hardware thread, 1 runs the serial
+  /// reference path on the calling thread. Results are identical for
+  /// every value.
   unsigned jobs = 0;
 
-  /// Optional per-run trace-sink factory, called once per (protocol,
-  /// lambda, replication) run before its simulation starts; return
-  /// nullptr to leave that run untraced. With jobs > 1 the factory runs
-  /// on worker threads and every run must get its *own* sink (e.g. one
-  /// suffixed JSONL file per run) — handing out one shared file would
-  /// interleave records across threads.
-  std::function<std::unique_ptr<obs::TraceSink>(
-      proto::ProtocolKind kind, double lambda, std::uint32_t rep)>
+  /// Optional per-run trace-sink factory, called once per run before its
+  /// simulation starts; return nullptr to leave that run untraced. With
+  /// jobs > 1 the factory runs on worker threads — and under kFork inside
+  /// forked children — so every run must get its *own* sink with a
+  /// run-unique path (e.g. one suffixed JSONL file per run).
+  std::function<std::unique_ptr<obs::TraceSink>(const RunId& id)>
       make_trace_sink;
 
   /// Called after each completed run (progress reporting); may be empty.
-  /// Invocation order is always the serial cell order. With jobs > 1 the
-  /// callbacks fire during the deterministic merge after the parallel
-  /// phase, so they report completion, not live progress.
+  /// Invocation order is always the serial cell order. With jobs > 1 or
+  /// exec=fork the callbacks fire during the deterministic merge after
+  /// the execution phase, so they report completion, not live progress.
   std::function<void(const SweepCell&, std::uint32_t rep)> on_run;
+
+  /// Test hook forwarded to WarmStartOptions::child_hook: runs inside
+  /// each forked child before its suffix resumes. Lets tests inject
+  /// child failures; never called on the thread path.
+  std::function<void(std::size_t point)> child_hook;
 };
 
-/// Runs `base` across options.lambdas x options.protocols x replications.
-/// Results are ordered protocol-major, lambda-minor.
+/// The sweep grid in serial order (protocol-major, lambda, attack set,
+/// then replication). run_sweep executes exactly this sequence.
+std::vector<RunId> sweep_run_ids(const SweepOptions& options);
+
+/// Fully resolved per-run configs, aligned with sweep_run_ids(). This is
+/// what the warm-start planner consumes; exposed for --plan dry runs.
+std::vector<ScenarioConfig> sweep_point_configs(const ScenarioConfig& base,
+                                                const SweepOptions& options);
+
+/// "realtor lambda=6 set=2 rep=0" — human label for plan listings.
+std::string run_label(const RunId& id);
+
+/// Runs `base` across the grid. Cells are ordered protocol-major, lambda,
+/// then attack set. Throws std::runtime_error listing every failed point
+/// if a forked child dies or returns a truncated record.
 std::vector<SweepCell> run_sweep(const ScenarioConfig& base,
                                  const SweepOptions& options);
 
@@ -77,8 +129,8 @@ SweepOptions paper_sweep_options(std::vector<double> lambdas,
 
 /// Shape of SweepOptions::make_trace_sink, exposed so the shared factory
 /// below can be passed around by the CLI and the benches.
-using RunSinkFactory = std::function<std::unique_ptr<obs::TraceSink>(
-    proto::ProtocolKind kind, double lambda, std::uint32_t rep)>;
+using RunSinkFactory =
+    std::function<std::unique_ptr<obs::TraceSink>(const RunId& id)>;
 
 /// What make_run_sink_factory() should build per run. At most one of the
 /// prefixes may be non-empty (a run gets one sink).
@@ -88,17 +140,22 @@ struct RunSinkOptions {
   /// JsonlSink batching (0 = write-through; see JsonlSink's guarantee).
   std::size_t jsonl_flush_every = 0;
   /// Flight recorder: one binary ring per run, dumped to
-  /// prefix.<proto>.lambda<L>.rep<R>.bin when run_one flushes the sink.
+  /// prefix.<proto>.lambda<L>.rep<R>.bin when the run flushes the sink.
   std::string flight_prefix;
   /// Ring capacity in records for flight sinks.
   std::size_t flight_capacity = obs::kDefaultFlightCapacity;
+  /// Attack-parameter sweeps set this so names gain an .att<K> infix
+  /// (prefix.<proto>.lambda<L>.att<K>.rep<R>.*) — without it two attack
+  /// sets of the same cell would clobber one file. Single-schedule sweeps
+  /// leave it off and keep the legacy names.
+  bool attack_suffix = false;
 };
 
 /// The per-run sink factory shared by realtor_sim --sweep and the bench
-/// harness: builds a JsonlSink or FlightDumpSink per (protocol, lambda,
-/// replication) run, suffix-named so parallel workers never share a file.
-/// Both prefixes empty -> an empty function (sweep runs untraced). A file
-/// that cannot be opened is reported to stderr and that run is untraced.
+/// harness: builds a JsonlSink or FlightDumpSink per run, suffix-named so
+/// parallel workers (and forked children) never share a file. Both
+/// prefixes empty -> an empty function (sweep runs untraced). A file that
+/// cannot be opened is reported to stderr and that run is untraced.
 RunSinkFactory make_run_sink_factory(RunSinkOptions options);
 
 }  // namespace realtor::experiment

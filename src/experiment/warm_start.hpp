@@ -1,0 +1,124 @@
+// Warm-start sweep execution: copy-on-write world snapshots via fork().
+//
+// Attack-parameter sweeps re-simulate an identical pre-attack warm-up for
+// every sweep point: the points differ only after the first wave fires.
+// The planner here hashes each point's pre-divergence configuration
+// (everything except the attack schedule) and groups points into
+// warm-start classes; the executor runs each class's shared prefix once in
+// a single-threaded snapshot parent, then fork()s one copy-on-write child
+// per point, which arms only its divergent attack waves and fast-forwards
+// the suffix. Children stream their RunMetrics (and timeline) back over a
+// pipe; the caller merges them in serial point order, so aggregates are
+// byte-identical to the in-process thread executor.
+//
+// Portability: fork execution is Linux-only. Everywhere else — and for
+// classes with fewer than two members or no shared prefix — points run
+// in-process on the thread pool, which remains the reference semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/metrics.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/simulation.hpp"
+#include "obs/trace.hpp"
+
+namespace realtor::experiment {
+
+/// Sweep execution backend: in-process worker threads (the portable
+/// reference) or warm-start fork (COW children; byte-identical results).
+enum class SweepExec { kThread, kFork };
+
+/// Parses "thread" / "fork"; anything else -> nullopt.
+std::optional<SweepExec> parse_exec(const std::string& name);
+const char* to_string(SweepExec exec);
+
+/// True when this build can fork sweep children (Linux). Other platforms
+/// silently fall back to thread execution.
+bool fork_exec_supported();
+
+/// Canonical text serialization of every ScenarioConfig field except
+/// `attacks`, with doubles rendered as exact bit patterns: two configs
+/// with equal strings simulate identically up to the first attack event.
+std::string canonical_prefix(const ScenarioConfig& config);
+
+/// FNV-1a hash of canonical_prefix() — the class key shown by --plan.
+std::uint64_t prefix_hash(const ScenarioConfig& config);
+
+/// One warm-start class: sweep points sharing a canonical prefix.
+struct WarmStartClass {
+  std::uint64_t hash = 0;
+  /// Snapshot barrier: the earliest wave time over the members (clamped to
+  /// the duration). The shared prefix runs every event strictly before it.
+  SimTime prefix_end = 0.0;
+  /// Indices into the planned point vector, in point order.
+  std::vector<std::size_t> members;
+  /// Whether the fork executor may snapshot this class: at least two
+  /// members and a non-empty shared prefix.
+  bool forkable = false;
+};
+
+/// Groups `points` into warm-start classes (order of first appearance;
+/// members in point order). Points that cannot be snapshotted — engine
+/// observer sampling (its pending count sees deferred attack events),
+/// external arrivals (caller-driven schedule), or a wave at t <= 0 — get a
+/// singleton non-forkable class each.
+std::vector<WarmStartClass> plan_warm_start(
+    const std::vector<ScenarioConfig>& points);
+
+/// Outcome of one sweep point under run_warm_start().
+struct PointResult {
+  RunMetrics metrics;
+  std::vector<TimelineSample> timeline;
+  bool ok = false;
+  /// Child exit status (0 for in-process runs and healthy children);
+  /// normalized to 128+signal for signal deaths.
+  int exit_status = 0;
+  bool forked = false;
+  std::string error;
+};
+
+struct WarmStartOptions {
+  SweepExec exec = SweepExec::kThread;
+  /// Worker bound shared by the thread pool and the fork process pool
+  /// (0 = one per hardware thread).
+  unsigned jobs = 0;
+  /// Per-point sink factory (empty = untraced). In fork mode it runs
+  /// inside the child, after the fork — returned sinks must use
+  /// point-unique paths or siblings would clobber each other's dumps. The
+  /// shared prefix is traced into a memory buffer and replayed into each
+  /// child's sink, so traces are byte-identical to thread execution.
+  std::function<std::unique_ptr<obs::TraceSink>(std::size_t point)> make_sink;
+  /// Test hook: runs inside the forked child before its suffix resumes.
+  /// Lets tests inject child failures (nonzero exits, truncated result
+  /// records) without a custom build. Never called on the thread path.
+  std::function<void(std::size_t point)> child_hook;
+};
+
+struct WarmStartOutcome {
+  /// One entry per point, in point order.
+  std::vector<PointResult> results;
+  std::vector<WarmStartClass> classes;
+  /// Points that ran as COW children (0 in thread mode).
+  std::size_t forked_points = 0;
+
+  bool all_ok() const;
+  /// "point 3: child exited with status 7" lines for every failed point.
+  std::vector<std::string> failures() const;
+};
+
+/// Runs every point and returns results in point order. Thread exec — and
+/// non-forkable classes under fork exec — run in-process via the thread
+/// pool; forkable classes run the shared prefix once and fork one child
+/// per member. Results are byte-identical across exec modes. Failures
+/// (child death, truncated record) are reported per point; the call itself
+/// always returns.
+WarmStartOutcome run_warm_start(const std::vector<ScenarioConfig>& points,
+                                const WarmStartOptions& options);
+
+}  // namespace realtor::experiment

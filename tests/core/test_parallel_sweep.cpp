@@ -145,11 +145,10 @@ TEST(ParallelSweep, TraceSinkFactoryCalledOncePerRun) {
   SinkLog log;
   std::atomic<int> events{0};
   SweepOptions options = grid_options(4);
-  options.make_trace_sink = [&](proto::ProtocolKind kind, double lambda,
-                                std::uint32_t rep)
-      -> std::unique_ptr<obs::TraceSink> {
+  options.make_trace_sink =
+      [&](const RunId& id) -> std::unique_ptr<obs::TraceSink> {
     const std::scoped_lock lock(log.mu);
-    log.runs.emplace(static_cast<int>(kind), lambda, rep);
+    log.runs.emplace(static_cast<int>(id.kind), id.lambda, id.rep);
     ++log.created;
     return std::make_unique<LoggingSink>(events);
   };
@@ -186,12 +185,11 @@ TEST(ParallelSweep, EpisodeAndLineageIdsByteIdenticalAcrossJobs) {
     SweepOptions options = grid_options(jobs);
     std::vector<std::shared_ptr<RecordingSink>> keep_alive;
     options.make_trace_sink =
-        [&](proto::ProtocolKind kind, double lambda, std::uint32_t rep)
-        -> std::unique_ptr<obs::TraceSink> {
+        [&](const RunId& id) -> std::unique_ptr<obs::TraceSink> {
       auto sink = std::make_shared<RecordingSink>();
       {
         const std::scoped_lock lock(mu);
-        sinks[Key{static_cast<int>(kind), lambda, rep}] = sink;
+        sinks[Key{static_cast<int>(id.kind), id.lambda, id.rep}] = sink;
         keep_alive.push_back(sink);
       }
       // The sweep owns a forwarding wrapper; the shared_ptr keeps the

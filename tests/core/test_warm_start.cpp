@@ -1,0 +1,336 @@
+// Warm-start sweep execution: the prefix planner's grouping rules, the
+// engine's reserved-sequence tie-break blocks, phased-run equivalence, and
+// (on Linux) the fork executor's byte-identity and failure reporting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiment/simulation.hpp"
+#include "experiment/sweep.hpp"
+#include "experiment/warm_start.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/engine.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace realtor::experiment {
+namespace {
+
+ScenarioConfig attack_config(std::size_t victims) {
+  ScenarioConfig c;
+  c.duration = 40.0;
+  c.lambda = 4.0;
+  c.seed = 9;
+  AttackWave wave;
+  wave.time = 30.0;
+  wave.count = victims;
+  wave.grace = 1.0;
+  wave.outage = 5.0;
+  c.attacks = {wave};
+  return c;
+}
+
+/// Every observable a run produces, rendered exactly — the equivalence
+/// oracle for phased vs. one-shot execution and fork vs. thread.
+std::string fingerprint(const RunMetrics& m) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << m.generated << '|' << m.admitted_local << '|' << m.admitted_migrated
+     << '|' << m.rejected << '|' << m.arrivals_at_dead_nodes << '|'
+     << m.completed << '|' << m.evacuation_candidates << '|' << m.evacuated
+     << '|' << m.lost_to_attack << '|' << m.migration_attempts << '|'
+     << m.migration_aborts << '|' << m.response_time.count() << '|'
+     << m.response_time.mean() << '|' << m.response_time.variance() << '|'
+     << m.ledger.total_sends() << '|' << m.ledger.total_cost() << '|'
+     << m.ledger.overhead_cost() << '|' << m.mean_occupancy << '|'
+     << m.mean_utilization;
+  return os.str();
+}
+
+std::string fingerprint(const SweepCell& cell) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << static_cast<int>(cell.kind) << '|' << cell.lambda << '|'
+     << cell.attack_set;
+  for (const OnlineStats* stats :
+       {&cell.admission_probability, &cell.total_messages,
+        &cell.messages_per_admitted, &cell.migration_rate,
+        &cell.mean_occupancy, &cell.evacuation_success}) {
+    os << '|' << stats->count() << ':' << stats->mean() << ':'
+       << stats->min() << ':' << stats->max() << ':' << stats->variance();
+  }
+  os << '|' << fingerprint(cell.summed);
+  return os.str();
+}
+
+TEST(WarmStartPlan, CanonicalPrefixIgnoresAttacksOnly) {
+  const ScenarioConfig a = attack_config(2);
+  ScenarioConfig b = attack_config(7);
+  b.attacks[0].time = 20.0;
+  b.attacks[0].outage = 11.0;
+  EXPECT_EQ(canonical_prefix(a), canonical_prefix(b));
+  EXPECT_EQ(prefix_hash(a), prefix_hash(b));
+
+  b.lambda = 5.0;
+  EXPECT_NE(canonical_prefix(a), canonical_prefix(b));
+  b = attack_config(7);
+  b.seed = 10;
+  EXPECT_NE(canonical_prefix(a), canonical_prefix(b));
+  b = attack_config(7);
+  b.protocol_kind = proto::ProtocolKind::kPurePush;
+  EXPECT_NE(canonical_prefix(a), canonical_prefix(b));
+  b = attack_config(7);
+  b.protocol.alpha += 1e-12;  // bit-exact: any double change splits
+  EXPECT_NE(canonical_prefix(a), canonical_prefix(b));
+}
+
+TEST(WarmStartPlan, GroupsSharedPrefixesAndKeepsPointOrder) {
+  std::vector<ScenarioConfig> points = {attack_config(2), attack_config(4),
+                                        attack_config(6)};
+  points[1].attacks[0].time = 25.0;
+  const auto classes = plan_warm_start(points);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_TRUE(classes[0].forkable);
+  EXPECT_EQ(classes[0].members, (std::vector<std::size_t>{0, 1, 2}));
+  // Snapshot barrier: the earliest divergence over the members.
+  EXPECT_DOUBLE_EQ(classes[0].prefix_end, 25.0);
+}
+
+TEST(WarmStartPlan, NonGroupablePointsGetSingletonClasses) {
+  // Engine-observer sampling sees deferred attack events in its pending
+  // count, so those points may never share a snapshot parent.
+  std::vector<ScenarioConfig> sampled = {attack_config(2), attack_config(4)};
+  sampled[0].engine_sample_every = 100;
+  sampled[1].engine_sample_every = 100;
+  auto classes = plan_warm_start(sampled);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_FALSE(classes[0].forkable);
+  EXPECT_FALSE(classes[1].forkable);
+
+  std::vector<ScenarioConfig> external = {attack_config(2), attack_config(4)};
+  external[0].external_arrivals = true;
+  external[1].external_arrivals = true;
+  classes = plan_warm_start(external);
+  EXPECT_EQ(classes.size(), 2u);
+
+  // A wave at t = 0 leaves no prefix to share.
+  std::vector<ScenarioConfig> immediate = {attack_config(2),
+                                           attack_config(4)};
+  immediate[0].attacks[0].time = 0.0;
+  classes = plan_warm_start(immediate);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_FALSE(classes[0].forkable);
+  EXPECT_FALSE(classes[1].forkable);
+}
+
+TEST(EngineWarmStart, RunUntilBeforeLeavesBarrierEventsPending) {
+  sim::Engine engine;
+  std::vector<int> fired;
+  engine.schedule_at(1.0, [&] { fired.push_back(1); });
+  engine.schedule_at(2.0, [&] { fired.push_back(2); });
+  engine.schedule_at(2.0, [&] { fired.push_back(3); });
+  engine.schedule_at(3.0, [&] { fired.push_back(4); });
+  engine.run_until_before(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EngineWarmStart, ReservedBlockWinsEqualTimeTies) {
+  // The warm-start contract: events armed into a block reserved earlier
+  // beat later-scheduled events in the equal-time FIFO tie-break, exactly
+  // as if they had been scheduled at reservation position.
+  sim::Engine engine;
+  std::string order;
+  engine.schedule_at(5.0, [&] { order += 'A'; });
+  const std::uint32_t first = engine.reserve_seqs(2);
+  engine.schedule_at(5.0, [&] { order += 'B'; });
+  engine.schedule_at(5.0, [&] { order += 'C'; });
+  engine.use_reserved_seqs(first, 2);
+  engine.schedule_at(5.0, [&] { order += 'D'; });
+  engine.schedule_at(5.0, [&] { order += 'E'; });
+  engine.end_reserved_seqs();
+  engine.run();
+  EXPECT_EQ(order, "ADEBC");
+}
+
+TEST(WarmStart, PhasedRunMatchesOneShotRun) {
+  const ScenarioConfig config = attack_config(4);
+
+  Simulation oneshot(config);
+  const std::string expected = fingerprint(oneshot.run());
+
+  ScenarioConfig deferred_config = config;
+  deferred_config.attacks.clear();
+  Simulation phased(deferred_config);
+  // Over-reserve on purpose: a snapshot parent sizes the block for its
+  // largest member, so smaller members must survive a surplus.
+  phased.defer_attacks(
+      Simulation::attack_event_count(config.attacks, false) + 7);
+  phased.begin_run();
+  phased.run_prefix(config.attacks[0].time);
+  phased.arm_attacks(config.attacks);
+  EXPECT_EQ(fingerprint(phased.finish_run()), expected);
+
+  Simulation oneshot_again(config);
+  EXPECT_EQ(fingerprint(oneshot_again.run()), expected);  // baseline sanity
+}
+
+TEST(WarmStart, ThreadExecRunsEveryPointInProcess) {
+  std::vector<ScenarioConfig> points = {attack_config(2), attack_config(5)};
+  WarmStartOptions options;
+  options.exec = SweepExec::kThread;
+  options.jobs = 2;
+  const WarmStartOutcome outcome = run_warm_start(points, options);
+  ASSERT_TRUE(outcome.all_ok());
+  EXPECT_EQ(outcome.forked_points, 0u);
+  for (const PointResult& result : outcome.results) {
+    EXPECT_FALSE(result.forked);
+    EXPECT_EQ(result.exit_status, 0);
+  }
+}
+
+#if defined(__linux__)
+
+TEST(WarmStartFork, ForkMatchesThreadByteForByte) {
+  ASSERT_TRUE(fork_exec_supported());
+  ScenarioConfig base;
+  base.duration = 60.0;
+  base.seed = 5;
+
+  SweepOptions options;
+  options.lambdas = {4.0, 8.0};
+  options.protocols = {proto::ProtocolKind::kRealtor,
+                       proto::ProtocolKind::kPurePush};
+  options.replications = 2;
+  options.jobs = 4;
+  AttackWave wave;
+  wave.time = 45.0;
+  wave.grace = 1.0;
+  wave.outage = 8.0;
+  options.attack_sets.emplace_back();  // no-attack baseline set
+  wave.count = 3;
+  options.attack_sets.push_back({wave});
+  wave.count = 6;
+  options.attack_sets.push_back({wave});
+
+  // The planner must find one forkable class per (protocol, lambda, rep)
+  // slice, each holding all three attack sets.
+  const auto classes =
+      plan_warm_start(sweep_point_configs(base, options));
+  ASSERT_EQ(classes.size(), 8u);
+  for (const WarmStartClass& cls : classes) {
+    EXPECT_TRUE(cls.forkable);
+    EXPECT_EQ(cls.members.size(), 3u);
+    EXPECT_DOUBLE_EQ(cls.prefix_end, 45.0);
+  }
+
+  options.exec = SweepExec::kThread;
+  const auto thread_cells = run_sweep(base, options);
+  options.exec = SweepExec::kFork;
+  const auto fork_cells = run_sweep(base, options);
+  ASSERT_EQ(thread_cells.size(), fork_cells.size());
+  for (std::size_t i = 0; i < thread_cells.size(); ++i) {
+    EXPECT_EQ(fingerprint(fork_cells[i]), fingerprint(thread_cells[i]));
+  }
+}
+
+TEST(WarmStartFork, ChildExitStatusReportedPerPoint) {
+  std::vector<ScenarioConfig> points = {attack_config(2), attack_config(5)};
+  WarmStartOptions options;
+  options.exec = SweepExec::kFork;
+  options.jobs = 2;
+  options.child_hook = [](std::size_t point) {
+    if (point == 1) ::_exit(7);
+  };
+  const WarmStartOutcome outcome = run_warm_start(points, options);
+  ASSERT_EQ(outcome.results.size(), 2u);
+  EXPECT_TRUE(outcome.results[0].ok);
+  EXPECT_TRUE(outcome.results[0].forked);
+  EXPECT_GT(outcome.forked_points, 0u);
+  EXPECT_FALSE(outcome.results[1].ok);
+  EXPECT_EQ(outcome.results[1].exit_status, 7);
+  EXPECT_NE(outcome.results[1].error.find("status 7"), std::string::npos);
+  const std::vector<std::string> failures = outcome.failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("point 1"), std::string::npos);
+}
+
+TEST(WarmStartFork, TruncatedResultRecordReportedPerPoint) {
+  std::vector<ScenarioConfig> points = {attack_config(2), attack_config(5)};
+  WarmStartOptions options;
+  options.exec = SweepExec::kFork;
+  options.jobs = 2;
+  // Exiting cleanly before the suffix runs writes no result record: the
+  // child's status is 0 but its pipe closes empty.
+  options.child_hook = [](std::size_t point) {
+    if (point == 0) ::_exit(0);
+  };
+  const WarmStartOutcome outcome = run_warm_start(points, options);
+  EXPECT_FALSE(outcome.results[0].ok);
+  EXPECT_EQ(outcome.results[0].exit_status, 0);
+  EXPECT_NE(outcome.results[0].error.find("truncated result record"),
+            std::string::npos);
+  EXPECT_TRUE(outcome.results[1].ok);
+}
+
+TEST(WarmStartFork, FailedChildFailsTheSweepDeterministically) {
+  ScenarioConfig base;
+  base.duration = 40.0;
+  base.seed = 3;
+  SweepOptions options;
+  options.lambdas = {4.0};
+  options.protocols = {proto::ProtocolKind::kRealtor};
+  options.replications = 1;
+  AttackWave wave;
+  wave.time = 30.0;
+  wave.grace = 1.0;
+  wave.outage = 5.0;
+  wave.count = 2;
+  options.attack_sets.push_back({wave});
+  wave.count = 4;
+  options.attack_sets.push_back({wave});
+  options.jobs = 2;
+  options.exec = SweepExec::kFork;
+  options.child_hook = [](std::size_t) { ::_exit(9); };
+  EXPECT_THROW(run_sweep(base, options), std::runtime_error);
+}
+
+TEST(WarmStartFork, EachChildDumpsItsOwnFlightFile) {
+  std::vector<ScenarioConfig> points = {attack_config(2), attack_config(5)};
+  const std::string prefix = ::testing::TempDir() + "warm_flight_point";
+  WarmStartOptions options;
+  options.exec = SweepExec::kFork;
+  options.jobs = 2;
+  options.make_sink = [&](std::size_t point) {
+    return std::make_unique<obs::FlightDumpSink>(
+        prefix + std::to_string(point) + ".bin", 1 << 16);
+  };
+  const WarmStartOutcome outcome = run_warm_start(points, options);
+  ASSERT_TRUE(outcome.all_ok());
+  std::vector<std::streampos> sizes;
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    std::ifstream dump(prefix + std::to_string(point) + ".bin",
+                       std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(dump.good()) << "missing dump for point " << point;
+    EXPECT_GT(dump.tellg(), 0);
+    sizes.push_back(dump.tellg());
+  }
+  // The two points differ (different victim counts), so identical files
+  // would mean one child clobbered its sibling's dump.
+  EXPECT_NE(sizes[0], sizes[1]);
+}
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace realtor::experiment

@@ -116,11 +116,10 @@ TEST(Scorecard, ByteIdenticalAcrossSweepJobCounts) {
     options.jobs = jobs;
     std::mutex mu;
     options.make_trace_sink =
-        [&](proto::ProtocolKind, double,
-            std::uint32_t rep) -> std::unique_ptr<TraceSink> {
+        [&](const experiment::RunId& id) -> std::unique_ptr<TraceSink> {
       const std::string path = ::testing::TempDir() + "scorecard_jobs" +
                                std::to_string(jobs) + "_rep" +
-                               std::to_string(rep) + ".bin";
+                               std::to_string(id.rep) + ".bin";
       {
         const std::scoped_lock lock(mu);
         paths.push_back(path);

@@ -30,6 +30,20 @@
 //   realtor_sim --sweep=2,8 --jobs=4       # sweep on 4 worker threads
 //                                          # (byte-identical output; 0 =
 //                                          # one per hardware thread)
+//   realtor_sim --sweep=6 --exec=fork      # warm-start execution: shared
+//                                          # pre-attack prefixes simulate
+//                                          # once, points finish in forked
+//                                          # COW children (Linux; output
+//                                          # byte-identical to --exec=thread)
+//   realtor_sim --sweep=6 \
+//     --attack-sweep="150:5:1:60;150:10:1:60;150:20:1:60"
+//                                          # sweep attack schedules too:
+//                                          # ';'-separated sets, each a
+//                                          # comma list of t:count:grace:o
+//                                          # (empty chunk = no attacks)
+//   realtor_sim --sweep=6 --attack-sweep=... --plan
+//                                          # dry run: print the computed
+//                                          # warm-start classes and exit
 //
 // Sweeps + tracing: --sweep with --trace=prefix writes one JSONL file per
 // (protocol, lambda, replication) run, named
@@ -38,7 +52,9 @@
 // also execute in serial order.
 //
 // See experiment/cli_config.hpp for the complete flag list.
+#include <exception>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -228,6 +244,65 @@ int run_single(const Flags& flags) {
   return 0;
 }
 
+/// The per-(lambda, attack set) comparison table attack-parameter sweeps
+/// print instead of fig5–8: the figure tables key cells on (protocol,
+/// lambda) alone and would silently merge distinct attack sets.
+Table attack_sweep_table(const std::vector<experiment::SweepCell>& cells,
+                         const experiment::SweepOptions& options) {
+  std::vector<std::string> headers = {"lambda", "attack_set"};
+  for (const proto::ProtocolKind kind : options.protocols) {
+    headers.push_back(std::string(proto::to_string(kind)) + "_admission");
+    headers.push_back(std::string(proto::to_string(kind)) + "_evac");
+  }
+  Table table(std::move(headers));
+  const std::size_t sets =
+      options.attack_sets.empty() ? 1 : options.attack_sets.size();
+  for (const double lambda : options.lambdas) {
+    for (std::size_t set = 0; set < sets; ++set) {
+      table.row().cell(format_double(lambda, 3)).cell(
+          static_cast<std::uint64_t>(set));
+      for (const proto::ProtocolKind kind : options.protocols) {
+        for (const experiment::SweepCell& cell : cells) {
+          if (cell.kind != kind || cell.lambda != lambda ||
+              cell.attack_set != set) {
+            continue;
+          }
+          table.cell(cell.admission_probability.mean())
+              .cell(cell.evacuation_success.mean());
+          break;
+        }
+      }
+    }
+  }
+  return table;
+}
+
+int print_warm_start_plan(const experiment::ScenarioConfig& base,
+                          const experiment::SweepOptions& options) {
+  const std::vector<experiment::RunId> ids = experiment::sweep_run_ids(options);
+  const std::vector<experiment::ScenarioConfig> configs =
+      experiment::sweep_point_configs(base, options);
+  const std::vector<experiment::WarmStartClass> classes =
+      experiment::plan_warm_start(configs);
+  std::cout << "warm-start plan: " << configs.size() << " points, "
+            << classes.size() << " classes (exec="
+            << experiment::to_string(options.exec) << ", fork "
+            << (experiment::fork_exec_supported() ? "supported"
+                                                  : "unsupported")
+            << ")\n";
+  for (const experiment::WarmStartClass& cls : classes) {
+    std::cout << "class " << std::hex << std::setw(16) << std::setfill('0')
+              << cls.hash << std::dec << std::setfill(' ') << " members="
+              << cls.members.size() << " prefix_end="
+              << format_double(cls.prefix_end, 3)
+              << (cls.forkable ? " forkable" : " singleton") << '\n';
+    for (const std::size_t member : cls.members) {
+      std::cout << "  - " << experiment::run_label(ids[member]) << '\n';
+    }
+  }
+  return 0;
+}
+
 int run_sweep_mode(const Flags& flags) {
   const experiment::ScenarioConfig base =
       experiment::scenario_from_flags(flags);
@@ -238,6 +313,30 @@ int run_sweep_mode(const Flags& flags) {
     options.protocols.push_back(proto::ProtocolKind::kGossip);
   }
   options.jobs = static_cast<unsigned>(flags.get_int("jobs", 0));
+  const std::string exec_name = flags.get_string("exec", "thread");
+  const std::optional<experiment::SweepExec> exec =
+      experiment::parse_exec(exec_name);
+  if (!exec) {
+    std::cerr << "unknown --exec value '" << exec_name
+              << "' (expected thread or fork)\n";
+    return 1;
+  }
+  options.exec = *exec;
+  if (flags.has("attack-sweep")) {
+    // ';'-separated attack sets, each a comma list of t:count:grace:outage
+    // waves; an empty chunk is the no-attack baseline.
+    std::istringstream stream(flags.get_string("attack-sweep", ""));
+    std::string chunk;
+    while (std::getline(stream, chunk, ';')) {
+      options.attack_sets.push_back(experiment::parse_attack_waves(chunk));
+    }
+    if (options.attack_sets.empty()) {
+      options.attack_sets.emplace_back();
+    }
+  }
+  if (flags.get_bool("plan", false)) {
+    return print_warm_start_plan(base, options);
+  }
   // A sweep cannot funnel every run into one trace file without
   // interleaving records across worker threads, so --trace (JSONL) and
   // --flight-recorder (binary rings) fan out to one suffixed file per
@@ -251,6 +350,7 @@ int run_sweep_mode(const Flags& flags) {
     sink_options.flight_prefix = flags.get_string("flight-out", "flight");
     sink_options.flight_capacity = flight_capacity_from(flags);
   }
+  sink_options.attack_suffix = options.attack_sets.size() > 1;
   if (!sink_options.jsonl_prefix.empty() &&
       !sink_options.flight_prefix.empty()) {
     std::cerr << "--trace and --flight-recorder are mutually exclusive in "
@@ -260,6 +360,11 @@ int run_sweep_mode(const Flags& flags) {
   options.make_trace_sink =
       experiment::make_run_sink_factory(std::move(sink_options));
   const auto cells = experiment::run_sweep(base, options);
+  if (options.attack_sets.size() > 1) {
+    experiment::emit_figure("attack-parameter sweep",
+                            attack_sweep_table(cells, options));
+    return 0;
+  }
   experiment::emit_figure("admission probability",
                           experiment::fig5_admission_probability(cells));
   experiment::emit_figure("message overhead",
@@ -282,8 +387,13 @@ int main(int argc, char** argv) {
         "   src/experiment/cli_config.hpp for all flags)\n";
     return 0;
   }
-  if (flags.has("sweep")) {
-    return run_sweep_mode(flags);
+  try {
+    if (flags.has("sweep")) {
+      return run_sweep_mode(flags);
+    }
+    return run_single(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "realtor_sim: " << e.what() << '\n';
+    return 1;
   }
-  return run_single(flags);
 }

@@ -31,6 +31,17 @@
 //                      the property that makes "always-on" honest. All
 //                      three legs must also produce byte-identical run
 //                      metrics (tracing never changes decisions).
+//   BENCH_trace.json   the trace-ingest matrix: a deterministic synthetic
+//                      10k-node JSONL trace of --trace-mb megabytes read
+//                      three ways — the legacy ParsedEvent reader, the
+//                      zero-copy EventStore serially, and the EventStore
+//                      with --trace-jobs parse shards — each leg then
+//                      running the two heaviest analyses (--scorecard and
+//                      --check) so the artifact records end-to-end wall
+//                      time, not just parse time. Gated on all legs
+//                      agreeing byte-for-byte: event-stream fingerprint,
+//                      scorecard JSON, invariant-violation list, and
+//                      malformed-line accounting (exit 2 on divergence).
 //
 // Flags (besides everything bench_common.hpp documents):
 //   --kernel-out=PATH   default BENCH_kernel.json
@@ -64,13 +75,24 @@
 //                       model for the matrix scenario; trace density is
 //                       identical across modes, only baseline work moves
 //   --obs-null          add a do-nothing-sink leg (emission-site floor)
+//   --trace-out=PATH    default BENCH_trace.json
+//   --skip-trace        skip the trace-ingest matrix
+//   --trace-mb=M        synthetic trace size in MiB (default 100)
+//   --trace-jobs=N      parse shards for the parallel leg (default 4;
+//                       0 = one per hardware thread)
+//   --trace-reps=R      timed repetitions per leg (default 3; min wins)
+//   --trace-input=PATH  ingest an existing trace instead of generating
+//                       one (the identity gates still run)
+//   --trace-keep        keep the generated synthetic trace on disk
 //
 // Exit status is nonzero when the parallel sweep output differs from the
 // serial output in any byte, when an N=25 scale cell's metrics diverge
 // from the pre-change reference, when a traced obs leg's metrics diverge
-// from the untraced leg (exit 2), or when the flight-recorder overhead
-// exceeds its budget (exit 3) — CI runs this as a determinism gate plus
-// the one timing gate the flight recorder's contract requires.
+// from the untraced leg (exit 2), when a trace-ingest leg diverges from
+// the legacy reader in any gated byte (exit 2), or when the
+// flight-recorder overhead exceeds its budget (exit 3) — CI runs this as
+// a determinism gate plus the one timing gate the flight recorder's
+// contract requires.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -80,21 +102,29 @@
 #include <functional>
 #include <iomanip>
 #include <iostream>
+#include <locale>
 #include <memory>
 #include <sstream>
+#include <string_view>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/format.hpp"
 #include "common/parallel.hpp"
 #include "common/profile.hpp"
 #include "experiment/figures.hpp"
 #include "experiment/simulation.hpp"
 #include "experiment/sweep.hpp"
 #include "experiment/warm_start.hpp"
+#include "obs/event_store.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/invariants.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/scorecard.hpp"
+#include "obs/trace_reader.hpp"
 #include "proto/factory.hpp"
 #include "sim/engine.hpp"
 
@@ -886,6 +916,472 @@ int run_obs(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Trace-ingest matrix: the zero-copy EventStore against the legacy reader.
+//
+// A synthetic 10k-node attack trace is generated deterministically (LCG,
+// fixed seed, integer-rendered timestamps — every machine and locale
+// benches identical bytes): the steady task flow, HELP/pledge traffic,
+// kill/evacuate/restore episodes, escaped string payloads, and an
+// occasional malformed line so the tolerant-accounting path is exercised
+// end to end. Three legs ingest the same file:
+//
+//   legacy_reader   load_trace_file into ParsedEvents — the pre-change
+//                   representation (per-event kind string + field vector);
+//   store_serial    load_trace_store with jobs=1 (mmap + interning, one
+//                   shard) — isolates the data-layout win;
+//   store_parallel  load_trace_store with --trace-jobs shards — adds the
+//                   sharded parse.
+//
+// Every leg then runs the two heaviest analyses (the scorecard and the
+// invariant catalog), so the artifact records the end-to-end wall time a
+// `realtor_trace --scorecard`/`--check` user sees. The identity gate is
+// the point: all legs must agree on the event-stream fingerprint, the
+// scorecard JSON, the violation list, and the malformed accounting —
+// byte-for-byte. Exit 2 on any divergence.
+
+// unsigned long long so results feed %llu without per-site casts.
+unsigned long long trace_rng(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+/// Writes ~target_bytes of synthetic 10k-node trace to `path`. All number
+/// formatting is integer-based (micros, millis) so the generated bytes are
+/// locale-proof and identical on every platform.
+bool write_synthetic_trace(const std::string& path,
+                           std::uint64_t target_bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  std::string chunk;
+  chunk.reserve(2u << 20);
+  char line[320];
+  std::uint64_t rng = 0x5851f42d4c957f2dULL;
+  std::uint64_t written = 0;
+  std::uint64_t micros = 0;  // simulated clock, integer microseconds
+  unsigned long long task = 0;
+  unsigned long long episode = 0;
+  std::uint64_t lines = 0;
+  constexpr unsigned kNodes = 10000;
+  const auto emit = [&](int n) {
+    chunk.append(line, static_cast<std::size_t>(n));
+    chunk.push_back('\n');
+    ++lines;
+    if (chunk.size() >= (1u << 20)) {
+      out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      written += chunk.size();
+      chunk.clear();
+    }
+  };
+  while (written + chunk.size() < target_bytes) {
+    micros += 1 + trace_rng(rng) % 900;
+    const unsigned long long ts = micros / 1000000;
+    const unsigned long long tf = micros % 1000000;
+    const unsigned node = static_cast<unsigned>(trace_rng(rng) % kNodes);
+    if (lines % 40000 == 39999) {
+      // One malformed line per ~40k: the tolerant accounting must agree
+      // across every leg, so the bench input exercises it.
+      emit(std::snprintf(line, sizeof line,
+                         "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":", ts, tf,
+                         node));
+      continue;
+    }
+    if (lines % 5000 == 4999) {
+      // Attack episode: kill -> evacuate -> restore, the scorecard's food.
+      const unsigned long long lost = trace_rng(rng) % 6;
+      const unsigned long long resident = 4 + trace_rng(rng) % 12;
+      const unsigned long long saved = resident - trace_rng(rng) % 3;
+      emit(std::snprintf(line, sizeof line,
+                         "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                         "\"node_killed\",\"episode\":%llu,\"lost\":%llu}",
+                         ts, tf, node, episode, lost));
+      emit(std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"evacuation\","
+          "\"episode\":%llu,\"resident\":%llu,\"saved\":%llu}",
+          ts, tf, node, episode, resident, saved));
+      emit(std::snprintf(line, sizeof line,
+                         "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                         "\"node_restored\",\"episode\":%llu}",
+                         ts, tf, node, episode));
+      ++episode;
+      continue;
+    }
+    if (lines % 997 == 0) {
+      // Escaped string payload: forces the arena-decode path (the value
+      // cannot be a view into the mapping).
+      emit(std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"escalation\","
+          "\"cause\":\"grace \\\"expired\\\" -> retry\\n\",\"id\":%llu}",
+          ts, tf, node, task));
+      continue;
+    }
+    const std::uint64_t pick = trace_rng(rng) % 100;
+    int n;
+    if (pick < 28) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"task_arrival\","
+          "\"id\":%llu,\"size\":%llu.%03llu,\"deadline\":%llu.%03llu}",
+          ts, tf, node, ++task, 1 + trace_rng(rng) % 9, trace_rng(rng) % 1000,
+          20 + trace_rng(rng) % 80, trace_rng(rng) % 1000);
+    } else if (pick < 42) {
+      n = std::snprintf(line, sizeof line,
+                        "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                        "\"task_admit_local\",\"id\":%llu}",
+                        ts, tf, node, 1 + trace_rng(rng) % (task + 1));
+    } else if (pick < 48) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"task_admit_migrated\","
+          "\"id\":%llu,\"origin\":%llu}",
+          ts, tf, node, 1 + trace_rng(rng) % (task + 1),
+          trace_rng(rng) % kNodes);
+    } else if (pick < 54) {
+      n = std::snprintf(line, sizeof line,
+                        "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                        "\"task_rejected\",\"id\":%llu,\"cause\":\"full\"}",
+                        ts, tf, node, 1 + trace_rng(rng) % (task + 1));
+    } else if (pick < 70) {
+      n = std::snprintf(line, sizeof line,
+                        "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                        "\"task_completed\",\"id\":%llu}",
+                        ts, tf, node, 1 + trace_rng(rng) % (task + 1));
+    } else if (pick < 78) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"help_sent\","
+          "\"origin\":%u,\"urgency\":0.%03llu}",
+          ts, tf, node, node, trace_rng(rng) % 1000);
+    } else if (pick < 86) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"pledge_sent\","
+          "\"pledger\":%u,\"origin\":%llu,\"availability\":0.%03llu}",
+          ts, tf, node, node, trace_rng(rng) % kNodes,
+          trace_rng(rng) % 1000);
+    } else if (pick < 92) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"advert_sent\","
+          "\"availability\":0.%03llu,\"answered\":%s}",
+          ts, tf, node, trace_rng(rng) % 1000,
+          trace_rng(rng) % 2 ? "true" : "false");
+    } else if (pick < 97) {
+      n = std::snprintf(
+          line, sizeof line,
+          "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":\"migration_success\","
+          "\"id\":%llu,\"target\":%llu}",
+          ts, tf, node, 1 + trace_rng(rng) % (task + 1),
+          trace_rng(rng) % kNodes);
+    } else {
+      n = std::snprintf(line, sizeof line,
+                        "{\"t\":%llu.%06llu,\"node\":%u,\"kind\":"
+                        "\"gossip_round\",\"fanout\":%llu}",
+                        ts, tf, node, 1 + trace_rng(rng) % 4);
+    }
+    emit(n);
+  }
+  out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  return static_cast<bool>(out);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+std::uint64_t fnv1a(std::uint64_t h, std::string_view text) {
+  return fnv1a(h, text.data(), text.size());
+}
+
+/// Hashes one payload field. Numbers go through the locale-independent
+/// %.17g (shortest round-trip superset), so the fingerprint is exact.
+void hash_field(std::uint64_t& h, std::string_view key,
+                obs::JsonValue::Type type, bool boolean, double number,
+                std::string_view text) {
+  h = fnv1a(h, key);
+  const unsigned char tag = static_cast<unsigned char>(type);
+  h = fnv1a(h, &tag, 1);
+  switch (type) {
+    case obs::JsonValue::Type::kNumber: {
+      char buf[40];
+      const int n = format_double(buf, sizeof buf, "%.17g", number);
+      h = fnv1a(h, buf, static_cast<std::size_t>(n));
+      break;
+    }
+    case obs::JsonValue::Type::kString:
+      h = fnv1a(h, text);
+      break;
+    case obs::JsonValue::Type::kBool:
+      h = fnv1a(h, boolean ? "1" : "0", 1);
+      break;
+    case obs::JsonValue::Type::kNull:
+      break;
+  }
+  h = fnv1a(h, "\x1e", 1);
+}
+
+void hash_header(std::uint64_t& h, double time, NodeId node,
+                 std::string_view kind) {
+  char buf[40];
+  const int n = format_double(buf, sizeof buf, "%.17g", time);
+  h = fnv1a(h, buf, static_cast<std::size_t>(n));
+  const std::uint32_t id = node;
+  h = fnv1a(h, &id, sizeof id);
+  h = fnv1a(h, kind);
+  h = fnv1a(h, "\x1f", 1);
+}
+
+std::uint64_t events_fingerprint(const std::vector<obs::ParsedEvent>& events) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const obs::ParsedEvent& event : events) {
+    hash_header(h, event.time, event.node, event.kind);
+    for (const auto& [key, value] : event.fields) {
+      hash_field(h, key, value.type, value.boolean,
+                 value.type == obs::JsonValue::Type::kNumber ? value.number
+                                                             : 0.0,
+                 value.text);
+    }
+  }
+  return h;
+}
+
+std::uint64_t store_fingerprint(const obs::EventStore& store) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const obs::EventRec& rec : store.records()) {
+    hash_header(h, rec.time, rec.node, store.name(rec.kind));
+    const obs::StoredField* field = store.fields().data() + rec.field_begin;
+    for (std::uint32_t i = 0; i < rec.field_count; ++i, ++field) {
+      hash_field(h, store.name(field->key), field->type, field->boolean,
+                 field->number, field->text);
+    }
+  }
+  return h;
+}
+
+std::string render_violations(const std::vector<obs::Violation>& violations) {
+  std::string out;
+  char buf[40];
+  for (const obs::Violation& v : violations) {
+    out += v.invariant;
+    out += '|';
+    format_double(buf, sizeof buf, "%.17g", v.time);
+    out += buf;
+    out += '|';
+    out += std::to_string(v.node);
+    out += '|';
+    out += v.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_accounting(const obs::TraceLoadStats& stats) {
+  std::string out = "lines=" + std::to_string(stats.lines);
+  out += ";events=" + std::to_string(stats.events);
+  out += ";malformed=" + std::to_string(stats.malformed);
+  out += ";first_line=" + std::to_string(stats.first_malformed_line);
+  out += ";first_error=" + stats.first_error;
+  return out;
+}
+
+struct TraceLeg {
+  const char* name = "";
+  double load_seconds = 0.0;     // min across reps
+  double analyze_seconds = 0.0;  // scorecard + invariant catalog, min
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+  std::string scorecard;
+  std::string violations;
+  std::string accounting;
+};
+
+int run_trace_bench(const Flags& flags) {
+  const double mb = flags.get_double("trace-mb", 100.0);
+  unsigned jobs = static_cast<unsigned>(
+      std::max<std::int64_t>(flags.get_int("trace-jobs", 4), 0));
+  jobs = resolve_jobs(jobs);
+  const int reps =
+      std::max(1, static_cast<int>(flags.get_int("trace-reps", 3)));
+
+  std::string input = flags.get_string("trace-input", "");
+  const bool generated = input.empty();
+  if (generated) {
+    input = flags.get_string("trace-out", "BENCH_trace.json") +
+            ".input.jsonl";
+    std::cout << "trace ingest: generating " << mb
+              << " MiB synthetic 10k-node trace...\n";
+    if (!write_synthetic_trace(
+            input, static_cast<std::uint64_t>(mb * 1024.0 * 1024.0))) {
+      std::cerr << "cannot write " << input << '\n';
+      return 1;
+    }
+  }
+
+  TraceLeg legacy, serial, parallel;
+  legacy.name = "legacy_reader";
+  serial.name = "store_serial";
+  parallel.name = "store_parallel";
+  obs::IngestStats ingest;  // from the parallel leg: bytes/mapped/shards
+
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      std::vector<obs::ParsedEvent> events;
+      obs::TraceLoadStats stats;
+      std::string error;
+      Clock::time_point start = Clock::now();
+      if (!obs::load_trace_file(input, events, stats, &error)) {
+        std::cerr << "legacy reader failed: " << error << '\n';
+        return 1;
+      }
+      const double load = seconds_since(start);
+      if (rep == 0 || load < legacy.load_seconds) legacy.load_seconds = load;
+      start = Clock::now();
+      const obs::Scorecard card = obs::build_scorecard(events);
+      const std::vector<obs::Violation> violations =
+          obs::check_invariants(events);
+      const double analyze = seconds_since(start);
+      if (rep == 0 || analyze < legacy.analyze_seconds) {
+        legacy.analyze_seconds = analyze;
+      }
+      if (rep == 0) {
+        legacy.events = events.size();
+        legacy.fingerprint = events_fingerprint(events);
+        legacy.scorecard = obs::render_scorecard_json(card);
+        legacy.violations = render_violations(violations);
+        legacy.accounting = render_accounting(stats);
+      }
+    }
+    for (TraceLeg* leg : {&serial, &parallel}) {
+      const unsigned leg_jobs = leg == &serial ? 1 : jobs;
+      obs::EventStore store;
+      obs::IngestStats stats;
+      std::string error;
+      Clock::time_point start = Clock::now();
+      if (!obs::load_trace_store(input, store, stats, &error, leg_jobs)) {
+        std::cerr << leg->name << " failed: " << error << '\n';
+        return 1;
+      }
+      const double load = seconds_since(start);
+      if (rep == 0 || load < leg->load_seconds) leg->load_seconds = load;
+      start = Clock::now();
+      const obs::Scorecard card = obs::build_scorecard(store);
+      const std::vector<obs::Violation> violations =
+          obs::check_invariants(store);
+      const double analyze = seconds_since(start);
+      if (rep == 0 || analyze < leg->analyze_seconds) {
+        leg->analyze_seconds = analyze;
+      }
+      if (rep == 0) {
+        leg->events = store.size();
+        leg->fingerprint = store_fingerprint(store);
+        leg->scorecard = obs::render_scorecard_json(card);
+        leg->violations = render_violations(violations);
+        leg->accounting = render_accounting(stats.to_trace_stats());
+        if (leg == &parallel) ingest = std::move(stats);
+      }
+    }
+  }
+
+  bool identical = true;
+  for (const TraceLeg* leg : {&serial, &parallel}) {
+    const auto mismatch = [&](const char* what, bool same) {
+      if (!same) {
+        identical = false;
+        std::cerr << leg->name << " diverged from legacy_reader: " << what
+                  << '\n';
+      }
+    };
+    mismatch("event count", leg->events == legacy.events);
+    mismatch("event fingerprint", leg->fingerprint == legacy.fingerprint);
+    mismatch("scorecard JSON", leg->scorecard == legacy.scorecard);
+    mismatch("violations", leg->violations == legacy.violations);
+    mismatch("malformed accounting", leg->accounting == legacy.accounting);
+  }
+
+  const double mib = static_cast<double>(ingest.bytes) / (1024.0 * 1024.0);
+  const auto rate = [&](const TraceLeg& leg) {
+    return leg.load_seconds > 0.0 ? mib / leg.load_seconds : 0.0;
+  };
+  const auto total = [](const TraceLeg& leg) {
+    return leg.load_seconds + leg.analyze_seconds;
+  };
+  const double ingest_speedup_serial =
+      serial.load_seconds > 0.0 ? legacy.load_seconds / serial.load_seconds
+                                : 0.0;
+  const double ingest_speedup =
+      parallel.load_seconds > 0.0
+          ? legacy.load_seconds / parallel.load_seconds
+          : 0.0;
+  const double e2e_speedup =
+      total(parallel) > 0.0 ? total(legacy) / total(parallel) : 0.0;
+
+  std::cout << "trace ingest: " << mib << " MiB, " << legacy.events
+            << " events, "
+            << (legacy.accounting.substr(legacy.accounting.find("malformed=")))
+            << ", jobs=" << jobs << ", shards=" << ingest.shards << ", "
+            << (ingest.mapped ? "mmap" : "read") << '\n';
+  for (const TraceLeg* leg : {&legacy, &serial, &parallel}) {
+    std::cout << "  " << leg->name << ": load " << leg->load_seconds
+              << " s (" << rate(*leg) << " MiB/s), analyze "
+              << leg->analyze_seconds << " s, total " << total(*leg)
+              << " s\n";
+  }
+  std::cout << "  ingest speedup: serial " << ingest_speedup_serial
+            << "x, jobs=" << jobs << " " << ingest_speedup
+            << "x; end-to-end " << e2e_speedup << "x, identical: "
+            << (identical ? "yes" : "NO — ingest divergence") << '\n';
+
+  const std::string path = flags.get_string("trace-out", "BENCH_trace.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out.imbue(std::locale::classic());
+  out << "{\n  \"input_mib\": " << mib
+      << ",\n  \"input_bytes\": " << ingest.bytes
+      << ",\n  \"events\": " << legacy.events
+      << ",\n  \"lines\": " << ingest.lines
+      << ",\n  \"malformed\": " << ingest.malformed
+      << ",\n  \"jobs\": " << jobs << ",\n  \"shards\": " << ingest.shards
+      << ",\n  \"mapped\": " << (ingest.mapped ? "true" : "false")
+      // Interpreting the parallel leg needs the core count: on a
+      // single-core box the sharded parse is pure overhead, on CI
+      // runners it is where the speedup lives.
+      << ",\n  \"hw_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"reps\": " << reps << ",\n  \"legs\": [\n";
+  const TraceLeg* legs[] = {&legacy, &serial, &parallel};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const TraceLeg& leg = *legs[i];
+    out << "    {\"name\": \"" << leg.name
+        << "\", \"load_seconds\": " << leg.load_seconds
+        << ", \"mib_per_s\": " << rate(leg)
+        << ", \"analyze_seconds\": " << leg.analyze_seconds
+        << ", \"total_seconds\": " << total(leg) << "}" << (i < 2 ? "," : "")
+        << '\n';
+  }
+  out << "  ],\n  \"ingest_speedup_serial\": " << ingest_speedup_serial
+      << ",\n  \"ingest_speedup_parallel\": " << ingest_speedup
+      << ",\n  \"e2e_speedup_parallel\": " << e2e_speedup
+      << ",\n  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  std::cout << "trace ingest matrix -> " << path << '\n';
+
+  if (generated && !flags.get_bool("trace-keep", false)) {
+    std::remove(input.c_str());
+  }
+  if (!identical) {
+    std::cerr << "trace ingest diverged from the legacy reader\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -901,6 +1397,10 @@ int main(int argc, char** argv) {
   }
   if (!flags.get_bool("skip-obs", false)) {
     status = run_obs(flags);
+    if (status != 0) return status;
+  }
+  if (!flags.get_bool("skip-trace", false)) {
+    status = run_trace_bench(flags);
     if (status != 0) return status;
   }
   if (!flags.get_bool("skip-sweep", false)) {

@@ -11,12 +11,6 @@
 
 namespace realtor {
 
-std::string format_double(double value, int precision) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(precision) << value;
-  return os.str();
-}
-
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   REALTOR_ASSERT(!headers_.empty());
 }

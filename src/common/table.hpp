@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/format.hpp"  // format_double — historically declared here
+
 namespace realtor {
 
 /// A column-oriented table: a header row plus formatted cells.
@@ -36,8 +38,5 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
-
-/// Formats `value` with `precision` significant decimal places.
-std::string format_double(double value, int precision);
 
 }  // namespace realtor

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <locale>
 #include <map>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/format.hpp"
 #include "obs/metrics.hpp"
 
 namespace realtor::obs {
@@ -62,12 +64,20 @@ void append_row(std::ostringstream& out, const char* name,
                 const Histogram& h) {
   char row[192];
   const OnlineStats& stats = h.stats();
-  std::snprintf(row, sizeof(row),
-                "  %-20s %8llu %12.3f %12.3f %12.3f %12.3f %12.3f\n", name,
-                static_cast<unsigned long long>(stats.count()),
-                stats.count() > 0 ? stats.mean() * 1e3 : 0.0, h.p50() * 1e3,
-                h.p90() * 1e3, h.p99() * 1e3,
+  // Locale-independent doubles; the %12s widths reproduce the historical
+  // %12.3f padding byte for byte.
+  char mean[32], p50[32], p90[32], p99[32], max[32];
+  format_double(mean, sizeof mean, "%.3f",
+                stats.count() > 0 ? stats.mean() * 1e3 : 0.0);
+  format_double(p50, sizeof p50, "%.3f", h.p50() * 1e3);
+  format_double(p90, sizeof p90, "%.3f", h.p90() * 1e3);
+  format_double(p99, sizeof p99, "%.3f", h.p99() * 1e3);
+  format_double(max, sizeof max, "%.3f",
                 stats.count() > 0 ? stats.max() * 1e3 : 0.0);
+  std::snprintf(row, sizeof(row),
+                "  %-20s %8llu %12s %12s %12s %12s %12s\n", name,
+                static_cast<unsigned long long>(stats.count()), mean, p50,
+                p90, p99, max);
   out << row;
 }
 
@@ -179,6 +189,7 @@ CriticalPathAnalysis analyze_critical_paths(
 
 std::string render_critical_path(const CriticalPathAnalysis& analysis) {
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // no grouping under exotic globals
   out << "critical paths: " << analysis.paths.size() << " episodes ("
       << analysis.episodes_without_terminal << " without terminal, "
       << analysis.unresolved_causes << " unresolved causes)\n";
@@ -225,17 +236,21 @@ std::string render_blame(const CriticalPathAnalysis& analysis,
   if (edges.size() > top_k) edges.resize(top_k);
 
   std::ostringstream out;
+  out.imbue(std::locale::classic());  // no grouping under exotic globals
   out << "blame: top " << edges.size() << " slowest edges\n";
   char row[224];
   for (const CriticalEdge* edge : edges) {
+    char dur[32], from_t[40], to_t[40];
+    format_double(dur, sizeof dur, "%.3f", edge->duration() * 1e3);
+    format_double(from_t, sizeof from_t, "%.6f", edge->from_time);
+    format_double(to_t, sizeof to_t, "%.6f", edge->to_time);
     std::snprintf(row, sizeof(row),
-                  "  %10.3f ms  ep %-6llu %-18s %s@%u t=%.6f -> %s@%u "
-                  "t=%.6f\n",
-                  edge->duration() * 1e3,
-                  static_cast<unsigned long long>(edge->episode),
+                  "  %10s ms  ep %-6llu %-18s %s@%u t=%s -> %s@%u "
+                  "t=%s\n",
+                  dur, static_cast<unsigned long long>(edge->episode),
                   to_string(edge->phase), to_string(edge->from_kind),
-                  edge->from_node, edge->from_time, to_string(edge->to_kind),
-                  edge->to_node, edge->to_time);
+                  edge->from_node, from_t, to_string(edge->to_kind),
+                  edge->to_node, to_t);
     out << row;
   }
   return out.str();
@@ -265,10 +280,13 @@ std::vector<std::string> check_critical_paths(
       edge_sum += edge.duration();
     }
     if (std::abs(edge_sum - (path.end - path.start)) > 1e-9) {
+      char sum[40], span[40];
+      format_double(sum, sizeof sum, "%.9f", edge_sum);
+      format_double(span, sizeof span, "%.9f", path.end - path.start);
       std::snprintf(buf, sizeof(buf),
-                    "episode %llu: edge durations sum to %.9f, span is %.9f",
-                    static_cast<unsigned long long>(path.episode), edge_sum,
-                    path.end - path.start);
+                    "episode %llu: edge durations sum to %s, span is %s",
+                    static_cast<unsigned long long>(path.episode), sum,
+                    span);
       violations.emplace_back(buf);
     }
     if (path.backoff < 0.0) {

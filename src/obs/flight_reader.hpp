@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_store.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_reader.hpp"
 
@@ -49,6 +50,33 @@ bool is_flight_file(const std::string& path);
 /// never fails the load: intact records are salvaged into `out.events`
 /// and the loss is surfaced via `out.malformed` / `out.truncated`.
 bool load_flight_file(const std::string& path, FlightDump& out,
+                      std::string* error = nullptr);
+
+/// Ring/truncation telemetry of a store-based load (the FlightDump fields
+/// that are not the events themselves).
+struct FlightStoreInfo {
+  std::vector<FlightRingInfo> rings;
+  bool truncated = false;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+};
+
+/// Direct decode into an EventStore: packed records become EventRecs and
+/// StoredFields straight away — no per-record strings, no JSON text round
+/// trip. Same salvage semantics and failure conditions as the FlightDump
+/// overload, and the same event model (uints as numbers, non-finite
+/// doubles as quoted "nan"/"inf"/"-inf" strings, node 0xFFFFFFFF as
+/// kInvalidNode, stable time sort across rings).
+///
+/// Malformed accounting lands in `stats` with the exact trace_reader
+/// semantics: `lines` counts the records the intact ring headers claimed,
+/// `events` the decoded ones, `malformed` = lines - events (rejected
+/// records plus records lost to mid-ring truncation),
+/// `first_malformed_line` the 1-based ordinal of the first lost record in
+/// ring-major order, `first_error` the reason.
+bool load_flight_file(const std::string& path, EventStore& out,
+                      FlightStoreInfo& info, TraceLoadStats& stats,
                       std::string* error = nullptr);
 
 }  // namespace realtor::obs

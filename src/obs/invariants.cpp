@@ -1,19 +1,35 @@
 #include "obs/invariants.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <utility>
 
+#include "common/format.hpp"
+
 namespace realtor::obs {
 namespace {
 
+/// Expands the "%g" conversions of `fmt` with the leading arguments in
+/// order. Every catalog detail uses only %g, and routing each conversion
+/// through format_double keeps violation messages byte-identical across
+/// process locales (a comma radix would garble the CI --check output).
 std::string format_detail(const char* fmt, double a, double b = 0.0,
                           double c = 0.0, double d = 0.0) {
-  char buf[200];
-  std::snprintf(buf, sizeof(buf), fmt, a, b, c, d);
-  return std::string(buf);
+  const double args[4] = {a, b, c, d};
+  std::size_t next = 0;
+  std::string out;
+  char buf[32];
+  for (const char* p = fmt; *p != '\0'; ++p) {
+    if (p[0] == '%' && p[1] == 'g' && next < 4) {
+      const int n = format_double(buf, sizeof buf, "%g", args[next++]);
+      if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+      ++p;
+      continue;
+    }
+    out += *p;
+  }
+  return out;
 }
 
 class Checker {
@@ -195,6 +211,11 @@ std::vector<Violation> check_invariants(const std::vector<TraceEvent>& events,
 std::vector<Violation> check_invariants(const std::vector<ParsedEvent>& events,
                                         const InvariantConfig& config) {
   return check_invariants(normalize_events(events), config);
+}
+
+std::vector<Violation> check_invariants(const EventStore& store,
+                                        const InvariantConfig& config) {
+  return check_invariants(normalize_events(store), config);
 }
 
 }  // namespace realtor::obs

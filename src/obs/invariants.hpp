@@ -77,5 +77,7 @@ std::vector<Violation> check_invariants(const std::vector<TraceEvent>& events,
                                         const InvariantConfig& config = {});
 std::vector<Violation> check_invariants(const std::vector<ParsedEvent>& events,
                                         const InvariantConfig& config = {});
+std::vector<Violation> check_invariants(const EventStore& store,
+                                        const InvariantConfig& config = {});
 
 }  // namespace realtor::obs

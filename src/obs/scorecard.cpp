@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/format.hpp"
+#include "obs/event_store.hpp"
+
 namespace realtor::obs {
 namespace {
 
@@ -53,11 +56,11 @@ bool is_victim(const std::vector<NodeId>& victims, NodeId node) {
 
 }  // namespace
 
-Scorecard build_scorecard(const std::vector<ParsedEvent>& events) {
+Scorecard build_scorecard(const EventStore& store) {
   Scorecard card;
-  card.records = events.size();
+  card.records = store.size();
 
-  const std::vector<SpanEvent> spans = normalize_events(events);
+  const std::vector<SpanEvent> spans = normalize_events(store);
   const std::vector<Episode> episodes = build_episodes(spans);
   card.episodes = episodes.size();
   for (const Episode& episode : episodes) {
@@ -88,19 +91,27 @@ Scorecard build_scorecard(const std::vector<ParsedEvent>& events) {
   }
 
   // Attack waves: node_killed records sharing one timestamp (the injector
-  // kills a wave's victims at its single kill instant). ParsedEvents keep
+  // kills a wave's victims at its single kill instant). The store keeps
   // the payloads ("lost", evacuation "resident"/"saved") that SpanEvent
-  // deliberately drops.
+  // deliberately drops; find_id yields kNoStrId for names the trace never
+  // used, which no record carries.
+  const StrId node_killed_id = store.find_id("node_killed");
+  const StrId evacuation_id = store.find_id("evacuation");
+  const StrId lost_id = store.find_id("lost");
+  const StrId resident_id = store.find_id("resident");
+  const StrId saved_id = store.find_id("saved");
+
   struct Kill {
     SimTime time;
     NodeId node;
     std::uint64_t lost;
   };
   std::vector<Kill> kills;
-  for (const ParsedEvent& event : events) {
-    if (event.kind == "node_killed") {
-      kills.push_back({event.time, event.node,
-                       static_cast<std::uint64_t>(event.number("lost"))});
+  for (const EventRec& rec : store.records()) {
+    if (rec.kind == node_killed_id) {
+      kills.push_back({rec.time, rec.node,
+                       static_cast<std::uint64_t>(
+                           EventView(store, rec).number(lost_id))});
     }
   }
 
@@ -144,13 +155,14 @@ Scorecard build_scorecard(const std::vector<ParsedEvent>& events) {
     const SimTime prev_kill =
         w > 0 ? card.attacks[w - 1].kill_time : -1.0;
 
-    for (const ParsedEvent& event : events) {
-      if (event.time >= window_end) break;
-      if (event.kind == "evacuation" && event.time > prev_kill &&
-          is_victim(wave.victims, event.node)) {
+    for (const EventRec& rec : store.records()) {
+      if (rec.time >= window_end) break;
+      if (rec.kind == evacuation_id && rec.time > prev_kill &&
+          is_victim(wave.victims, rec.node)) {
+        const EventView view(store, rec);
         wave.evac_resident +=
-            static_cast<std::uint64_t>(event.number("resident"));
-        wave.evac_saved += static_cast<std::uint64_t>(event.number("saved"));
+            static_cast<std::uint64_t>(view.number(resident_id));
+        wave.evac_saved += static_cast<std::uint64_t>(view.number(saved_id));
       }
     }
 
@@ -184,6 +196,10 @@ Scorecard build_scorecard(const std::vector<ParsedEvent>& events) {
   }
 
   return card;
+}
+
+Scorecard build_scorecard(const std::vector<ParsedEvent>& events) {
+  return build_scorecard(store_from_events(events));
 }
 
 std::string render_scorecard_json(const Scorecard& card) {
@@ -276,12 +292,19 @@ void append_latency_text(std::string& out, const char* label,
   if (stats.count() == 0) {
     std::snprintf(buf, sizeof buf, "  %-24s (no samples)\n", label);
   } else {
+    // Doubles are pre-formatted locale-independently; the %-8s widths
+    // reproduce the historical %-8.3f padding byte for byte.
+    char mean[32], p50[32], p90[32], p99[32], max[32];
+    format_double(mean, sizeof mean, "%.3f", stats.mean());
+    format_double(p50, sizeof p50, "%.3f", histogram.p50());
+    format_double(p90, sizeof p90, "%.3f", histogram.p90());
+    format_double(p99, sizeof p99, "%.3f", histogram.p99());
+    format_double(max, sizeof max, "%.3f", stats.max());
     std::snprintf(buf, sizeof buf,
-                  "  %-24s n=%-6llu mean=%-8.3f p50=%-8.3f p90=%-8.3f "
-                  "p99=%-8.3f max=%.3f\n",
+                  "  %-24s n=%-6llu mean=%-8s p50=%-8s p90=%-8s "
+                  "p99=%-8s max=%s\n",
                   label, static_cast<unsigned long long>(stats.count()),
-                  stats.mean(), histogram.p50(), histogram.p90(),
-                  histogram.p99(), stats.max());
+                  mean, p50, p90, p99, max);
   }
   out += buf;
 }
@@ -311,12 +334,15 @@ std::string render_scorecard_text(const Scorecard& card) {
   }
   out += "\nattack waves:\n";
   for (const AttackReport& wave : card.attacks) {
+    char warn[32], kill[32];
+    format_double(warn, sizeof warn, "%.3f", wave.warn_time);
+    format_double(kill, sizeof kill, "%.3f", wave.kill_time);
     std::snprintf(buf, sizeof buf,
-                  "  wave %llu: warn=%.3f kill=%.3f victims=%llu lost=%llu "
+                  "  wave %llu: warn=%s kill=%s victims=%llu lost=%llu "
                   "evac=%llu/%llu episodes=%llu pledges=%llu "
                   "migrations=%llu misses=%llu drops=%llu ",
                   static_cast<unsigned long long>(wave.index),
-                  wave.warn_time, wave.kill_time,
+                  warn, kill,
                   static_cast<unsigned long long>(wave.victims.size()),
                   static_cast<unsigned long long>(wave.lost),
                   static_cast<unsigned long long>(wave.evac_saved),
@@ -328,8 +354,9 @@ std::string render_scorecard_text(const Scorecard& card) {
                   static_cast<unsigned long long>(wave.unreachable_drops));
     out += buf;
     if (wave.has_mttr()) {
-      std::snprintf(buf, sizeof buf, "mttr=%.3f ", wave.mttr);
-      out += buf;
+      out += "mttr=";
+      out += format_double("%.3f", wave.mttr);
+      out += ' ';
     } else {
       out += "mttr=- ";
     }

@@ -94,6 +94,64 @@ std::vector<SpanEvent> normalize_events(
   return out;
 }
 
+std::vector<SpanEvent> normalize_events(const EventStore& store) {
+  // The keys apply_field() dispatches on, resolved to interned ids once.
+  // Keys the trace never used resolve to kNoStrId, which no stored field
+  // carries.
+  const StrId episode = store.find_id("episode");
+  const StrId origin = store.find_id("origin");
+  const StrId organizer = store.find_id("organizer");
+  const StrId pledger = store.find_id("pledger");
+  const StrId target = store.find_id("target");
+  const StrId availability = store.find_id("availability");
+  const StrId interval = store.find_id("interval");
+  const StrId urgency = store.find_id("urgency");
+  const StrId answered = store.find_id("answered");
+  const StrId id = store.find_id("id");
+  const StrId cause = store.find_id("cause");
+  const StrId backoff = store.find_id("backoff");
+
+  std::vector<SpanEvent> out;
+  out.reserve(store.size());
+  const std::vector<StoredField>& fields = store.fields();
+  for (const EventRec& rec : store.records()) {
+    const EventKind kind = store.kind_of(rec.kind);
+    if (kind == EventKind::kCount) continue;  // unknown kind: skip
+    SpanEvent span;
+    span.time = rec.time;
+    span.node = rec.node;
+    span.kind = kind;
+    const StoredField* field = fields.data() + rec.field_begin;
+    const StoredField* end = field + rec.field_count;
+    for (; field != end; ++field) {
+      const double number = field->number;  // 0.0 for non-number types
+      if (field->key == episode) {
+        span.episode = static_cast<std::uint64_t>(number);
+      } else if (field->key == origin || field->key == organizer ||
+                 field->key == pledger || field->key == target) {
+        span.peer = static_cast<NodeId>(number);
+      } else if (field->key == availability) {
+        span.availability = number;
+      } else if (field->key == interval) {
+        span.interval = number;
+      } else if (field->key == urgency) {
+        span.urgency = number;
+      } else if (field->key == answered &&
+                 field->type == JsonValue::Type::kBool) {
+        span.answered = field->boolean;
+      } else if (field->key == id) {
+        span.lineage = static_cast<std::uint64_t>(number);
+      } else if (field->key == cause) {
+        span.cause = static_cast<std::uint64_t>(number);
+      } else if (field->key == backoff) {
+        span.backoff = number;
+      }
+    }
+    out.push_back(span);
+  }
+  return out;
+}
+
 std::vector<Episode> build_episodes(const std::vector<SpanEvent>& events) {
   std::map<std::uint64_t, Episode> by_id;
   for (const SpanEvent& event : events) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/event_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_reader.hpp"
@@ -69,6 +70,11 @@ bool normalize(const ParsedEvent& event, SpanEvent& out);
 
 std::vector<SpanEvent> normalize_events(const std::vector<TraceEvent>& events);
 std::vector<SpanEvent> normalize_events(const std::vector<ParsedEvent>& events);
+/// Store-based reduction: payload keys are looked up once as interned ids
+/// and kinds come from the interner's cached EventKind — no per-event
+/// string comparisons. Unknown kinds are skipped, exactly like the
+/// ParsedEvent overload.
+std::vector<SpanEvent> normalize_events(const EventStore& store);
 
 /// One reconstructed discovery episode.
 struct Episode {

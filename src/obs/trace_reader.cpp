@@ -186,26 +186,17 @@ bool parse_jsonl_line(std::string_view line, ParsedEvent& out,
 
 bool load_trace_file(const std::string& path, std::vector<ParsedEvent>& out,
                      std::string* error) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  out.clear();
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    ParsedEvent event;
-    std::string line_error;
-    if (!parse_jsonl_line(line, event, &line_error)) {
-      if (error != nullptr) {
-        *error = "line " + std::to_string(lineno) + ": " + line_error;
-      }
-      return false;
+  // The strict reader is the tolerant one plus a zero-malformed gate: one
+  // loader owns the line walk, and the first malformed line reproduces
+  // the historical "line N: reason" failure.
+  TraceLoadStats stats;
+  if (!load_trace_file(path, out, stats, error)) return false;
+  if (stats.malformed > 0) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(stats.first_malformed_line) + ": " +
+               stats.first_error;
     }
-    out.push_back(std::move(event));
+    return false;
   }
   return true;
 }

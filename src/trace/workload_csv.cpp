@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/format.hpp"
+
 namespace realtor::trace {
 namespace {
 
@@ -38,11 +40,17 @@ void save_csv(std::ostream& os, const std::vector<TraceRecord>& records) {
   os << kHeader << '\n';
   char buffer[192];
   for (const TraceRecord& r : records) {
-    // %.17g round-trips doubles exactly.
-    std::snprintf(buffer, sizeof(buffer), "%llu,%.17g,%.17g,%u,%.17g,%u\n",
+    // %.17g round-trips doubles exactly. format_double keeps the radix a
+    // '.' whatever LC_NUMERIC says — load_csv parses with from_chars,
+    // which only accepts '.'.
+    char time[40], size[40], bandwidth[40];
+    format_double(time, sizeof time, "%.17g", r.arrival.time);
+    format_double(size, sizeof size, "%.17g", r.arrival.size_seconds);
+    format_double(bandwidth, sizeof bandwidth, "%.17g", r.bandwidth_share);
+    std::snprintf(buffer, sizeof(buffer), "%llu,%s,%s,%u,%s,%u\n",
                   static_cast<unsigned long long>(r.arrival.id),
-                  r.arrival.time, r.arrival.size_seconds, r.arrival.node,
-                  r.bandwidth_share, static_cast<unsigned>(r.min_security));
+                  time, size, r.arrival.node, bandwidth,
+                  static_cast<unsigned>(r.min_security));
     os << buffer;
   }
 }

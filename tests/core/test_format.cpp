@@ -1,0 +1,89 @@
+// format_double — the locale-independence contract: every conversion is
+// byte-identical to snprintf under the C locale, whatever LC_NUMERIC the
+// process has set. (Machine-readable artifacts must parse back with
+// from_chars, which only accepts '.' as the radix.)
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <string>
+
+#include "common/format.hpp"
+
+namespace realtor {
+namespace {
+
+TEST(FormatDouble, MatchesSnprintfInTheCLocale) {
+  // The test suite runs in the default "C" locale, so plain snprintf is
+  // the oracle here.
+  const double values[] = {0.0,    -0.0,   1.0,        -0.5,  3.14159,
+                           1e-9,   1e20,   123456.789, 0.125, -1234.5,
+                           2.5e-3, 7.0 / 3.0};
+  const char* formats[] = {"%g", "%.3f", "%.6f", "%.17g", "%.1f", "%12.3f"};
+  char expected[64];
+  char actual[64];
+  for (const char* fmt : formats) {
+    for (const double value : values) {
+      const int want = std::snprintf(expected, sizeof expected, fmt, value);
+      const int got = format_double(actual, sizeof actual, fmt, value);
+      EXPECT_EQ(got, want) << fmt << " " << value;
+      EXPECT_STREQ(actual, expected) << fmt << " " << value;
+      EXPECT_EQ(format_double(fmt, value), std::string(expected));
+    }
+  }
+}
+
+TEST(FormatDouble, PrecisionHelperPinsHistoricalTableBytes) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDouble, TruncatesLikeSnprintf) {
+  char buf[5];
+  const int written = format_double(buf, sizeof buf, "%.6f", 1.25);
+  EXPECT_EQ(written, 8);  // would-be length of "1.250000"
+  EXPECT_STREQ(buf, "1.25");
+}
+
+TEST(FormatDouble, IndependentOfProcessLocale) {
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  const char* comma_locales[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                 "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+  bool switched = false;
+  for (const char* name : comma_locales) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      char probe[32];
+      std::snprintf(probe, sizeof probe, "%g", 0.5);
+      if (std::string(probe) == "0,5") {
+        switched = true;
+        break;
+      }
+    }
+  }
+  if (!switched) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no comma-radix locale available in this image";
+  }
+
+  EXPECT_EQ(format_double("%g", 0.5), "0.5");
+  EXPECT_EQ(format_double("%.3f", -12.25), "-12.250");
+  EXPECT_EQ(format_double("%.17g", 0.1), "0.10000000000000001");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  char buf[32];
+  format_double(buf, sizeof buf, "%8.3f", 1.5);
+  EXPECT_STREQ(buf, "   1.500");
+
+  std::setlocale(LC_NUMERIC, saved.c_str());
+}
+
+TEST(AppendDoubleShortest, ShortestRoundTripForm) {
+  std::string out;
+  append_double_shortest(out, 0.5);
+  out += ',';
+  append_double_shortest(out, 12.0);
+  EXPECT_EQ(out, "0.5,12");
+}
+
+}  // namespace
+}  // namespace realtor

@@ -34,6 +34,14 @@
 //                                            # ui.perfetto.dev; add
 //                                            # --profile=prof.tsv to merge
 //                                            # a realtor_sim --profile dump
+//   realtor_trace run.jsonl --jobs=4 --stats # parallel ingest; bytes /
+//                                            # events / MB/s on stderr
+//
+// Ingest goes through obs/event_store.hpp: the file is mmap'd, parsed in
+// newline-sharded parallel (--jobs=N, default all hardware threads) into
+// an interned zero-copy store, and every analysis below runs off that
+// store. Serial and parallel loads produce identical stores, so --jobs
+// never changes any output byte.
 //
 // --check replays the paper's algorithmic guarantees over the trace (see
 // obs/invariants.hpp for the catalog); parameters of the traced run can be
@@ -52,6 +60,7 @@
 //   2  a gate tripped: invariant violation, critical-path inconsistency,
 //      or dropped input under --check
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -61,8 +70,10 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/format.hpp"
 #include "common/profile.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/event_store.hpp"
 #include "obs/flight_reader.hpp"
 #include "obs/invariants.hpp"
 #include "obs/perfetto.hpp"
@@ -86,59 +97,66 @@ struct KindSummary {
   std::vector<char> nodes_seen;  // indexed by node id
 };
 
-std::string format_value(const obs::JsonValue& value) {
-  switch (value.type) {
+std::string format_value(const obs::StoredField& field) {
+  switch (field.type) {
     case obs::JsonValue::Type::kNumber: {
       char buf[32];
-      std::snprintf(buf, sizeof buf, "%g", value.number);
+      format_double(buf, sizeof buf, "%g", field.number);
       return buf;
     }
     case obs::JsonValue::Type::kString:
-      return value.text;
+      return std::string(field.text);
     case obs::JsonValue::Type::kBool:
-      return value.boolean ? "true" : "false";
+      return field.boolean ? "true" : "false";
     case obs::JsonValue::Type::kNull:
       return "null";
   }
   return "";
 }
 
-std::string format_fields(const obs::ParsedEvent& event) {
+std::string format_fields(const obs::EventStore& store,
+                          const obs::EventView& view) {
   std::string out;
-  for (const auto& [key, value] : event.fields) {
+  for (const obs::StoredField* field = view.fields_begin();
+       field != view.fields_end(); ++field) {
     if (!out.empty()) out += ' ';
-    out += key;
+    out += store.name(field->key);
     out += '=';
-    out += format_value(value);
+    out += format_value(*field);
   }
   return out;
 }
 
-bool keep(const obs::ParsedEvent& event, bool filter_node, NodeId node,
-          bool filter_kind, const std::string& kind) {
-  if (filter_node && event.node != node) return false;
-  if (filter_kind && event.kind != kind) return false;
+/// Filters compare interned ids, not strings: a --kind name the trace
+/// never used resolves to kNoStrId, which no record carries.
+bool keep(const obs::EventRec& rec, bool filter_node, NodeId node,
+          bool filter_kind, obs::StrId kind_id) {
+  if (filter_node && rec.node != node) return false;
+  if (filter_kind && rec.kind != kind_id) return false;
   return true;
 }
 
-void print_timeline(const std::vector<obs::ParsedEvent>& events,
-                    bool filter_node, NodeId node, bool filter_kind,
-                    const std::string& kind, std::uint64_t limit) {
+void print_timeline(const obs::EventStore& store, bool filter_node,
+                    NodeId node, bool filter_kind, obs::StrId kind_id,
+                    std::uint64_t limit) {
   std::uint64_t shown = 0;
   std::uint64_t matched = 0;
-  for (const obs::ParsedEvent& event : events) {
-    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
+  char time[32];
+  for (const obs::EventRec& rec : store.records()) {
+    if (!keep(rec, filter_node, node, filter_kind, kind_id)) continue;
     ++matched;
     if (shown >= limit) continue;
     ++shown;
-    std::printf("%10.3f  ", event.time);
-    if (event.node == kInvalidNode) {
+    format_double(time, sizeof time, "%.3f", rec.time);
+    std::printf("%10s  ", time);
+    if (rec.node == kInvalidNode) {
       std::printf("%6s", "-");
     } else {
-      std::printf("%6llu", static_cast<unsigned long long>(event.node));
+      std::printf("%6llu", static_cast<unsigned long long>(rec.node));
     }
-    std::printf("  %-20s %s\n", event.kind.c_str(),
-                format_fields(event).c_str());
+    const obs::EventView view(store, rec);
+    std::printf("  %-20s %s\n", view.kind_cstr(),
+                format_fields(store, view).c_str());
   }
   if (matched > shown) {
     std::printf("... %llu more (raise --limit)\n",
@@ -148,88 +166,110 @@ void print_timeline(const std::vector<obs::ParsedEvent>& events,
 
 /// Events as CSV: time,node,kind plus the sorted union of payload keys.
 /// Cells of absent fields stay empty, so every row has the same width.
-void print_events_csv(const std::vector<obs::ParsedEvent>& events,
-                      bool filter_node, NodeId node, bool filter_kind,
-                      const std::string& kind) {
-  std::set<std::string> keys;
-  for (const obs::ParsedEvent& event : events) {
-    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
-    for (const auto& [key, value] : event.fields) {
-      keys.insert(key);
+void print_events_csv(const obs::EventStore& store, bool filter_node,
+                      NodeId node, bool filter_kind, obs::StrId kind_id) {
+  std::set<std::string_view> keys;
+  for (const obs::EventRec& rec : store.records()) {
+    if (!keep(rec, filter_node, node, filter_kind, kind_id)) continue;
+    const obs::EventView view(store, rec);
+    for (const obs::StoredField* field = view.fields_begin();
+         field != view.fields_end(); ++field) {
+      keys.insert(store.name(field->key));
     }
   }
   std::printf("time,node,kind");
-  for (const std::string& key : keys) {
-    std::printf(",%s", key.c_str());
+  std::vector<obs::StrId> key_ids;
+  key_ids.reserve(keys.size());
+  for (const std::string_view key : keys) {
+    std::printf(",%s", key.data());  // interned names are NUL-terminated
+    key_ids.push_back(store.find_id(key));
   }
   std::printf("\n");
-  for (const obs::ParsedEvent& event : events) {
-    if (!keep(event, filter_node, node, filter_kind, kind)) continue;
-    if (event.node == kInvalidNode) {
-      std::printf("%.6f,,%s", event.time, event.kind.c_str());
+  char time[40];
+  for (const obs::EventRec& rec : store.records()) {
+    if (!keep(rec, filter_node, node, filter_kind, kind_id)) continue;
+    const obs::EventView view(store, rec);
+    format_double(time, sizeof time, "%.6f", rec.time);
+    if (rec.node == kInvalidNode) {
+      std::printf("%s,,%s", time, view.kind_cstr());
     } else {
-      std::printf("%.6f,%llu,%s", event.time,
-                  static_cast<unsigned long long>(event.node),
-                  event.kind.c_str());
+      std::printf("%s,%llu,%s", time,
+                  static_cast<unsigned long long>(rec.node),
+                  view.kind_cstr());
     }
-    for (const std::string& key : keys) {
-      const obs::JsonValue* value = event.find(key);
+    for (const obs::StrId key : key_ids) {
+      const obs::StoredField* value = view.find(key);
       std::printf(",%s", value != nullptr ? format_value(*value).c_str() : "");
     }
     std::printf("\n");
   }
 }
 
-void print_summary(const std::vector<obs::ParsedEvent>& events) {
-  std::map<std::string, KindSummary> kinds;
+void print_summary(const obs::EventStore& store) {
+  std::map<std::string_view, KindSummary> kinds;
   double span_end = 0.0;
   std::vector<char> all_nodes;
-  for (const obs::ParsedEvent& event : events) {
-    KindSummary& summary = kinds[event.kind];
-    if (summary.count == 0) summary.first_time = event.time;
+  for (const obs::EventRec& rec : store.records()) {
+    KindSummary& summary = kinds[store.name(rec.kind)];
+    if (summary.count == 0) summary.first_time = rec.time;
     ++summary.count;
-    summary.last_time = event.time;
-    span_end = std::max(span_end, event.time);
-    if (event.node != kInvalidNode) {
-      if (event.node >= summary.nodes_seen.size()) {
-        summary.nodes_seen.resize(event.node + 1, 0);
+    summary.last_time = rec.time;
+    span_end = std::max(span_end, rec.time);
+    if (rec.node != kInvalidNode) {
+      if (rec.node >= summary.nodes_seen.size()) {
+        summary.nodes_seen.resize(rec.node + 1, 0);
       }
-      summary.nodes_seen[event.node] = 1;
-      if (event.node >= all_nodes.size()) {
-        all_nodes.resize(event.node + 1, 0);
+      summary.nodes_seen[rec.node] = 1;
+      if (rec.node >= all_nodes.size()) {
+        all_nodes.resize(rec.node + 1, 0);
       }
-      all_nodes[event.node] = 1;
+      all_nodes[rec.node] = 1;
     }
   }
   const auto live = static_cast<unsigned long long>(
       std::count(all_nodes.begin(), all_nodes.end(), 1));
-  std::printf("%llu records, %llu nodes, t in [0, %.3f]\n\n",
-              static_cast<unsigned long long>(events.size()), live, span_end);
+  char end_buf[32];
+  format_double(end_buf, sizeof end_buf, "%.3f", span_end);
+  std::printf("%llu records, %llu nodes, t in [0, %s]\n\n",
+              static_cast<unsigned long long>(store.size()), live, end_buf);
   std::printf("%-20s %10s %8s %12s %12s\n", "kind", "count", "nodes",
               "first", "last");
+  char first[32], last[32];
   for (const auto& [kind, summary] : kinds) {
-    std::printf("%-20s %10llu %8llu %12.3f %12.3f\n", kind.c_str(),
+    format_double(first, sizeof first, "%.3f", summary.first_time);
+    format_double(last, sizeof last, "%.3f", summary.last_time);
+    std::printf("%-20s %10llu %8llu %12s %12s\n", kind.data(),
                 static_cast<unsigned long long>(summary.count),
                 static_cast<unsigned long long>(std::count(
                     summary.nodes_seen.begin(), summary.nodes_seen.end(), 1)),
-                summary.first_time, summary.last_time);
+                first, last);
   }
 }
 
 // Algorithm-H evolution: every help_interval record in order, then the
 // final interval each node settled on.
-void print_intervals(const std::vector<obs::ParsedEvent>& events) {
+void print_intervals(const obs::EventStore& store) {
+  const obs::StrId help_interval_id = store.find_id("help_interval");
+  const obs::StrId interval_id = store.find_id("interval");
+  const obs::StrId reason_id = store.find_id("reason");
   std::map<NodeId, double> final_interval;
   std::uint64_t updates = 0;
-  for (const obs::ParsedEvent& event : events) {
-    if (event.kind != "help_interval") continue;
+  char time[32], ival[32];
+  for (const obs::EventRec& rec : store.records()) {
+    if (rec.kind != help_interval_id || help_interval_id == obs::kNoStrId) {
+      continue;
+    }
     ++updates;
-    const double interval = event.number("interval", 0.0);
-    const obs::JsonValue* reason = event.find("reason");
-    std::printf("%10.3f  node %-5llu interval %8.3f  (%s)\n", event.time,
-                static_cast<unsigned long long>(event.node), interval,
-                reason != nullptr ? reason->text.c_str() : "?");
-    final_interval[event.node] = interval;
+    const obs::EventView view(store, rec);
+    const double interval = view.number(interval_id, 0.0);
+    const obs::StoredField* reason = view.find(reason_id);
+    format_double(time, sizeof time, "%.3f", rec.time);
+    format_double(ival, sizeof ival, "%.3f", interval);
+    std::printf("%10s  node %-5llu interval %8s  (%.*s)\n", time,
+                static_cast<unsigned long long>(rec.node), ival,
+                reason != nullptr ? static_cast<int>(reason->text.size()) : 1,
+                reason != nullptr ? reason->text.data() : "?");
+    final_interval[rec.node] = interval;
   }
   if (updates == 0) {
     std::printf("no help_interval records "
@@ -238,8 +278,9 @@ void print_intervals(const std::vector<obs::ParsedEvent>& events) {
   }
   std::printf("\nfinal intervals:\n");
   for (const auto& [node, interval] : final_interval) {
-    std::printf("  node %-5llu %8.3f\n",
-                static_cast<unsigned long long>(node), interval);
+    format_double(ival, sizeof ival, "%.3f", interval);
+    std::printf("  node %-5llu %8s\n",
+                static_cast<unsigned long long>(node), ival);
   }
 }
 
@@ -249,11 +290,16 @@ void print_latency_row(const char* label, const obs::Histogram& histogram) {
     std::printf("  %-22s (no samples)\n", label);
     return;
   }
-  std::printf("  %-22s n=%-6llu mean=%-8.3f p50=%-8.3f p90=%-8.3f "
-              "p99=%-8.3f max=%.3f\n",
+  char mean[32], p50[32], p90[32], p99[32], max[32];
+  format_double(mean, sizeof mean, "%.3f", stats.mean());
+  format_double(p50, sizeof p50, "%.3f", histogram.p50());
+  format_double(p90, sizeof p90, "%.3f", histogram.p90());
+  format_double(p99, sizeof p99, "%.3f", histogram.p99());
+  format_double(max, sizeof max, "%.3f", stats.max());
+  std::printf("  %-22s n=%-6llu mean=%-8s p50=%-8s p90=%-8s "
+              "p99=%-8s max=%s\n",
               label, static_cast<unsigned long long>(stats.count()),
-              stats.mean(), histogram.p50(), histogram.p90(),
-              histogram.p99(), stats.max());
+              mean, p50, p90, p99, max);
 }
 
 void print_episodes(const std::vector<obs::Episode>& episodes,
@@ -269,25 +315,32 @@ void print_episodes(const std::vector<obs::Episode>& episodes,
               "origin", "start", "urgency", "pledges", "attempts",
               "migrated", "t_pledge", "t_migrate");
   std::uint64_t shown = 0;
+  char start[32], urgency[32], latency[32];
   for (const obs::Episode& episode : episodes) {
     if (shown >= limit) break;
     ++shown;
-    std::printf("%-10llu %6lld %10.3f %8.3f %8llu %8llu %8llu ",
+    format_double(start, sizeof start, "%.3f", episode.start_time);
+    format_double(urgency, sizeof urgency, "%.3f", episode.urgency);
+    std::printf("%-10llu %6lld %10s %8s %8llu %8llu %8llu ",
                 static_cast<unsigned long long>(episode.id),
                 episode.origin == kInvalidNode
                     ? -1LL
                     : static_cast<long long>(episode.origin),
-                episode.start_time, episode.urgency,
+                start, urgency,
                 static_cast<unsigned long long>(episode.pledges_received),
                 static_cast<unsigned long long>(episode.migration_attempts),
                 static_cast<unsigned long long>(episode.migrations));
     if (episode.started && episode.has_pledge()) {
-      std::printf("%10.3f ", episode.time_to_first_pledge());
+      format_double(latency, sizeof latency, "%.3f",
+                    episode.time_to_first_pledge());
+      std::printf("%10s ", latency);
     } else {
       std::printf("%10s ", "-");
     }
     if (episode.started && episode.has_migration()) {
-      std::printf("%10.3f\n", episode.time_to_migration());
+      format_double(latency, sizeof latency, "%.3f",
+                    episode.time_to_migration());
+      std::printf("%10s\n", latency);
     } else {
       std::printf("%10s\n", "-");
     }
@@ -302,6 +355,7 @@ void print_episodes_csv(const std::vector<obs::Episode>& episodes) {
   std::printf("episode,origin,start,urgency,helps_received,pledges_sent,"
               "pledges_received,attempts,aborts,migrations,rejections,"
               "time_to_first_pledge,time_to_migration\n");
+  char start[40], urgency[32], latency[40];
   for (const obs::Episode& episode : episodes) {
     std::printf("%llu,", static_cast<unsigned long long>(episode.id));
     if (episode.origin == kInvalidNode) {
@@ -309,8 +363,10 @@ void print_episodes_csv(const std::vector<obs::Episode>& episodes) {
     } else {
       std::printf("%llu,", static_cast<unsigned long long>(episode.origin));
     }
-    std::printf("%.6f,%g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
-                episode.start_time, episode.urgency,
+    format_double(start, sizeof start, "%.6f", episode.start_time);
+    format_double(urgency, sizeof urgency, "%g", episode.urgency);
+    std::printf("%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
+                start, urgency,
                 static_cast<unsigned long long>(episode.helps_received),
                 static_cast<unsigned long long>(episode.pledges_sent),
                 static_cast<unsigned long long>(episode.pledges_received),
@@ -319,20 +375,23 @@ void print_episodes_csv(const std::vector<obs::Episode>& episodes) {
                 static_cast<unsigned long long>(episode.migrations),
                 static_cast<unsigned long long>(episode.rejections));
     if (episode.started && episode.has_pledge()) {
-      std::printf("%.6f,", episode.time_to_first_pledge());
+      format_double(latency, sizeof latency, "%.6f",
+                    episode.time_to_first_pledge());
+      std::printf("%s,", latency);
     } else {
       std::printf(",");
     }
     if (episode.started && episode.has_migration()) {
-      std::printf("%.6f\n", episode.time_to_migration());
+      format_double(latency, sizeof latency, "%.6f",
+                    episode.time_to_migration());
+      std::printf("%s\n", latency);
     } else {
       std::printf("\n");
     }
   }
 }
 
-int run_check(const std::vector<obs::ParsedEvent>& events,
-              const Flags& flags) {
+int run_check(const obs::EventStore& store, const Flags& flags) {
   obs::InvariantConfig config;
   config.initial_help_interval =
       flags.get_double("initial-interval", config.initial_help_interval);
@@ -346,34 +405,36 @@ int run_check(const std::vector<obs::ParsedEvent>& events,
       flags.get_double("pledge-threshold", config.pledge_threshold);
   config.tolerance = flags.get_double("tolerance", config.tolerance);
 
-  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(store);
   const std::vector<obs::Violation> violations =
       obs::check_invariants(spans, config);
   if (violations.empty()) {
     const std::vector<obs::Episode> episodes = obs::build_episodes(spans);
     std::printf("OK: %llu records, %llu episodes, all invariants hold\n",
-                static_cast<unsigned long long>(events.size()),
+                static_cast<unsigned long long>(store.size()),
                 static_cast<unsigned long long>(episodes.size()));
     return kExitOk;
   }
+  char time[32];
   for (const obs::Violation& violation : violations) {
-    std::printf("VIOLATION %-26s t=%.3f node=%llu  %s\n",
-                violation.invariant, violation.time,
+    format_double(time, sizeof time, "%.3f", violation.time);
+    std::printf("VIOLATION %-26s t=%s node=%llu  %s\n",
+                violation.invariant, time,
                 static_cast<unsigned long long>(violation.node),
                 violation.detail.c_str());
   }
   std::printf("%llu violation(s) in %llu records\n",
               static_cast<unsigned long long>(violations.size()),
-              static_cast<unsigned long long>(events.size()));
+              static_cast<unsigned long long>(store.size()));
   return kExitViolation;
 }
 
 /// --critical-path [--blame[=K]] [--top=K] [--check]: lineage-walk every
 /// episode, print the phase-attribution table, optionally the top-K
 /// slowest edges, and optionally gate on structural consistency.
-int run_critical_path(const std::vector<obs::ParsedEvent>& events,
-                      const Flags& flags, std::uint64_t dropped_input) {
-  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+int run_critical_path(const obs::EventStore& store, const Flags& flags,
+                      std::uint64_t dropped_input) {
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(store);
   const obs::CriticalPathAnalysis analysis =
       obs::analyze_critical_paths(spans);
   std::fputs(obs::render_critical_path(analysis).c_str(), stdout);
@@ -406,9 +467,8 @@ int run_critical_path(const std::vector<obs::ParsedEvent>& events,
 }
 
 /// --export=perfetto [--profile=FILE] [--out=FILE]: Chrome-trace JSON.
-int run_export_perfetto(const std::vector<obs::ParsedEvent>& events,
-                        const Flags& flags) {
-  const std::vector<obs::SpanEvent> spans = obs::normalize_events(events);
+int run_export_perfetto(const obs::EventStore& store, const Flags& flags) {
+  const std::vector<obs::SpanEvent> spans = obs::normalize_events(store);
   const obs::CriticalPathAnalysis analysis =
       obs::analyze_critical_paths(spans);
   std::vector<obs::ProfileEntry> profile;
@@ -441,6 +501,13 @@ int run_export_perfetto(const std::vector<obs::ParsedEvent>& events,
   return kExitOk;
 }
 
+std::uint64_t file_size_of(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return 0;
+  const auto pos = file.tellg();
+  return pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,7 +522,7 @@ int main(int argc, char** argv) {
                  "[--episodes] [--check] [--scorecard] "
                  "[--critical-path] [--blame[=<k>]] [--top=<k>] "
                  "[--export=perfetto] [--profile=<tsv>] [--out=<file>] "
-                 "[--format=csv|json] [--limit=<n>]\n"
+                 "[--format=csv|json] [--limit=<n>] [--jobs=<n>] [--stats]\n"
                  "--check options: --initial-interval --upper-limit "
                  "--interval-floor --alpha --beta --pledge-threshold "
                  "--tolerance\n"
@@ -464,43 +531,80 @@ int main(int argc, char** argv) {
     return path.empty() ? kExitUsage : kExitOk;
   }
 
-  std::vector<obs::ParsedEvent> events;
-  obs::TraceLoadStats load_stats;
+  // 0 = resolve_jobs: one parse shard per hardware thread. Serial and
+  // parallel ingest produce identical stores, so --jobs never changes
+  // what any mode below prints.
+  const unsigned jobs =
+      static_cast<unsigned>(std::max<std::int64_t>(flags.get_int("jobs", 0),
+                                                   0));
+  const bool want_stats = flags.get_bool("stats", false);
+
+  obs::EventStore store;
   std::string error;
   // Input records/lines that were skipped rather than analyzed; any
   // --check gate refuses a clean verdict while this is non-zero.
   std::uint64_t dropped_input = 0;
+  std::uint64_t ingest_bytes = 0;
+  std::size_t ingest_malformed = 0;
+  unsigned ingest_shards = 1;
+  const char* ingest_mode = "read";
+  const auto ingest_start = std::chrono::steady_clock::now();
   if (obs::is_flight_file(path)) {
-    obs::FlightDump dump;
-    if (!obs::load_flight_file(path, dump, &error)) {
+    obs::FlightStoreInfo info;
+    obs::TraceLoadStats fstats;
+    if (!obs::load_flight_file(path, store, info, fstats, &error)) {
       std::cerr << path << ": " << error << '\n';
       return kExitUsage;
     }
-    events = std::move(dump.events);
-    if (dump.total_dropped() > 0) {
+    if (info.total_dropped() > 0) {
       std::cerr << path << ": ring wrap-around dropped "
-                << dump.total_dropped()
+                << info.total_dropped()
                 << " oldest record(s) before the dump\n";
     }
-    if (dump.malformed > 0) {
+    if (fstats.malformed > 0) {
       std::cerr << path << ": "
-                << (dump.truncated ? "truncated dump, " : "")
-                << dump.malformed
+                << (info.truncated ? "truncated dump, " : "")
+                << fstats.malformed
                 << " unrecoverable record(s) skipped\n";
     }
-    dropped_input = dump.malformed;
+    dropped_input = fstats.malformed;
+    ingest_malformed = fstats.malformed;
+    ingest_bytes = file_size_of(path);
+    ingest_mode = "flight";
   } else {
-    if (!obs::load_trace_file(path, events, load_stats, &error)) {
+    obs::IngestStats istats;
+    if (!obs::load_trace_store(path, store, istats, &error, jobs)) {
       std::cerr << path << ": " << error << '\n';
       return kExitUsage;
     }
-    if (load_stats.malformed > 0) {
-      std::cerr << path << ": skipped " << load_stats.malformed
+    if (istats.malformed > 0) {
+      std::cerr << path << ": skipped " << istats.malformed
                 << " malformed line(s), first at line "
-                << load_stats.first_malformed_line << ": "
-                << load_stats.first_error << '\n';
+                << istats.first_malformed_line << ": "
+                << istats.first_error << '\n';
     }
-    dropped_input = load_stats.malformed;
+    dropped_input = istats.malformed;
+    ingest_malformed = istats.malformed;
+    ingest_bytes = istats.bytes;
+    ingest_shards = istats.shards;
+    ingest_mode = istats.mapped ? "mmap" : "read";
+  }
+  if (want_stats) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ingest_start)
+            .count();
+    const double mib = static_cast<double>(ingest_bytes) / (1024.0 * 1024.0);
+    char rate[32];
+    format_double(rate, sizeof rate, "%.1f",
+                  seconds > 0.0 ? mib / seconds : 0.0);
+    std::fprintf(stderr,
+                 "ingest: %llu bytes, %llu events, %llu malformed, "
+                 "%s MB/s (%s, shards=%u)\n",
+                 static_cast<unsigned long long>(ingest_bytes),
+                 static_cast<unsigned long long>(store.size()),
+                 static_cast<unsigned long long>(ingest_malformed), rate,
+                 ingest_mode, ingest_shards);
   }
 
   const std::string format = flags.get_string("format", "text");
@@ -520,15 +624,15 @@ int main(int argc, char** argv) {
                 << " (perfetto)\n";
       return kExitUsage;
     }
-    return run_export_perfetto(events, flags);
+    return run_export_perfetto(store, flags);
   }
 
   if (flags.get_bool("critical-path", false) || flags.has("blame")) {
-    return run_critical_path(events, flags, dropped_input);
+    return run_critical_path(store, flags, dropped_input);
   }
 
   if (flags.get_bool("check", false)) {
-    const int result = run_check(events, flags);
+    const int result = run_check(store, flags);
     if (result == kExitOk && dropped_input > 0) {
       std::printf("FAIL: %llu malformed record(s)/line(s) were dropped "
                   "from the input — the clean verdict above covers only "
@@ -540,7 +644,7 @@ int main(int argc, char** argv) {
   }
 
   if (scorecard_mode) {
-    const obs::Scorecard scorecard = obs::build_scorecard(events);
+    const obs::Scorecard scorecard = obs::build_scorecard(store);
     const std::string out = format == "json"
                                 ? obs::render_scorecard_json(scorecard)
                                 : obs::render_scorecard_text(scorecard);
@@ -550,7 +654,7 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("episodes", false)) {
     const std::vector<obs::Episode> episodes =
-        obs::build_episodes(obs::normalize_events(events));
+        obs::build_episodes(obs::normalize_events(store));
     if (csv) {
       print_episodes_csv(episodes);
     } else {
@@ -561,7 +665,7 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("intervals", false)) {
-    print_intervals(events);
+    print_intervals(store);
     return kExitOk;
   }
 
@@ -569,22 +673,24 @@ int main(int argc, char** argv) {
   const NodeId node = static_cast<NodeId>(flags.get_int("node", 0));
   const bool filter_kind = flags.has("kind");
   const std::string kind = flags.get_string("kind", "");
+  obs::StrId kind_id = obs::kNoStrId;
   if (filter_kind) {
     obs::EventKind parsed;
     if (!obs::parse_event_kind(kind, parsed)) {
       std::cerr << "unknown event kind: " << kind << '\n';
       return kExitUsage;
     }
+    kind_id = store.find_id(kind);
   }
   if (csv) {
-    print_events_csv(events, filter_node, node, filter_kind, kind);
+    print_events_csv(store, filter_node, node, filter_kind, kind_id);
     return kExitOk;
   }
   if (filter_node || filter_kind) {
-    print_timeline(events, filter_node, node, filter_kind, kind,
+    print_timeline(store, filter_node, node, filter_kind, kind_id,
                    static_cast<std::uint64_t>(flags.get_int("limit", 100)));
     return kExitOk;
   }
-  print_summary(events);
+  print_summary(store);
   return kExitOk;
 }

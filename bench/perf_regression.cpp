@@ -24,13 +24,14 @@
 //                      captured before the zero-copy transport landed.
 //   BENCH_obs.json     the tracing-overhead matrix: one attack-heavy
 //                      REALTOR run at N=2500 timed with tracing off, with
-//                      the binary flight recorder, and with a JSONL sink
-//                      (min of --obs-reps each). The flight-recorder leg
-//                      is budget-gated: its overhead over the untraced
-//                      leg must stay within --obs-budget (default 5%) —
-//                      the property that makes "always-on" honest. All
-//                      three legs must also produce byte-identical run
-//                      metrics (tracing never changes decisions).
+//                      the binary flight recorder, with a JSONL sink, and
+//                      with the live telemetry plane (min of --obs-reps
+//                      each). The flight and live legs are budget-gated:
+//                      each one's overhead over the untraced leg must
+//                      stay within --obs-budget (default 5%) — the
+//                      property that makes "always-on" honest. All legs
+//                      must also produce byte-identical run metrics
+//                      (tracing never changes decisions).
 //   BENCH_trace.json   the trace-ingest matrix: a deterministic synthetic
 //                      10k-node JSONL trace of --trace-mb megabytes read
 //                      three ways — the legacy ParsedEvent reader, the
@@ -123,6 +124,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/invariants.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/live/live_plane.hpp"
 #include "obs/scorecard.hpp"
 #include "obs/trace_reader.hpp"
 #include "proto/factory.hpp"
@@ -135,6 +137,24 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The CPU frequency governor ("performance", "powersave", ...), or
+/// "unknown" where sysfs does not expose one (containers, macOS).
+std::string cpu_governor() {
+  std::ifstream gov(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  std::string name;
+  if (gov && std::getline(gov, name) && !name.empty()) return name;
+  return "unknown";
+}
+
+/// Machine context at the top of every BENCH_*.json: wall-clock numbers
+/// are only comparable across artifacts produced on the same core count
+/// and governor setting, so every header records both.
+void write_machine_header(std::ostream& out) {
+  out << "  \"hw_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"governor\": \"" << cpu_governor() << "\",\n";
 }
 
 struct KernelResult {
@@ -219,7 +239,9 @@ int run_kernel(const Flags& flags) {
     std::cerr << "cannot write " << path << '\n';
     return 1;
   }
-  out << "{\n  \"benchmarks\": [\n";
+  out << "{\n";
+  write_machine_header(out);
+  out << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"ops\": " << r.ops
@@ -417,7 +439,9 @@ int run_sweep_bench(const Flags& flags) {
     std::cerr << "cannot write " << path << '\n';
     return 1;
   }
-  out << "{\n  \"figure\": \"fig6\",\n  \"runs\": " << runs
+  out << "{\n";
+  write_machine_header(out);
+  out << "  \"figure\": \"fig6\",\n  \"runs\": " << runs
       << ",\n  \"replications\": " << options.replications
       << ",\n  \"duration\": " << config.duration
       << ",\n  \"jobs\": " << parallel_jobs
@@ -595,7 +619,9 @@ int run_scale(const Flags& flags) {
     std::cerr << "cannot write " << path << '\n';
     return 1;
   }
-  out << "{\n  \"floods_per_cell\": " << floods << ",\n  \"cells\": [\n";
+  out << "{\n";
+  write_machine_header(out);
+  out << "  \"floods_per_cell\": " << floods << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScaleResult& r = results[i];
     out << "    {\"topology\": \"" << r.topo << "\", \"n\": " << r.n
@@ -621,9 +647,11 @@ int run_scale(const Flags& flags) {
 // tested property.
 //
 // One attack-heavy REALTOR cell at N=2500 (solicitations, evacuations and
-// migrations on top of the steady task flow) is run three ways: untraced,
-// into a flight ring, and into a JSONL file. Legs are timed --obs-reps
-// times INTERLEAVED (off, flight, jsonl, off, ...) and the per-leg
+// migrations on top of the steady task flow) is run four ways: untraced,
+// into a flight ring, into a JSONL file, and into the live telemetry
+// plane (windowing + rule evaluation per tick, no downstream, exposition
+// buffered in memory). Legs are timed --obs-reps times INTERLEAVED
+// (off, flight, jsonl, live, off, ...) and the per-leg
 // minimum wall clock is kept — on a shared machine a load spike that
 // lands during one leg's block of reps would bias the ratio; round-robin
 // exposes every leg to the same windows. The JSONL leg is reported for
@@ -665,6 +693,11 @@ experiment::ScenarioConfig obs_config(const Flags& flags) {
   // active, so it would inflate the traced legs with gauge computation
   // the untraced leg never performs. The legs must schedule identical
   // work and differ only in the sink behind the emission sites.
+  // live_cadence is set for EVERY leg for the same reason: the tick
+  // callback reschedules itself whether or not a sink is attached, so
+  // the engine schedule is identical and the live leg differs from
+  // "off" only by the plane behind the emission sites.
+  c.live_cadence = 1.0;
   // One graced wave mid-run: solicit -> evacuate -> kill -> restore, the
   // event mix the scorecard consumes.
   experiment::AttackWave wave;
@@ -779,6 +812,7 @@ int run_obs(const Flags& flags) {
   // Sinks built fresh per rep; kept alive until the leg's next rep.
   std::unique_ptr<obs::FlightRecorder> recorder;
   std::unique_ptr<obs::JsonlSink> jsonl;
+  std::unique_ptr<obs::live::LivePlane> live_plane;
 
   struct NullSink final : obs::TraceSink {
     std::uint64_t seen = 0;
@@ -786,7 +820,7 @@ int run_obs(const Flags& flags) {
   };
   static NullSink null_sink;
 
-  std::vector<ObsLeg> legs(3);
+  std::vector<ObsLeg> legs(4);
   if (flags.get_bool("obs-null", false)) {
     legs.emplace_back();
     legs.back().name = "null";
@@ -810,10 +844,22 @@ int run_obs(const Flags& flags) {
     obs::JsonlSink& sink = *jsonl;
     return SinkHandle{&sink, [&sink] { return sink.lines_written(); }};
   };
+  // The live-telemetry plane at full price: every event windowed, the
+  // default rule set evaluated each tick, exposition buffered in memory
+  // (no downstream sink, no file I/O — those belong to the flight/jsonl
+  // legs). Gated at the same budget as the flight recorder.
+  legs[3].name = "live";
+  legs[3].make_sink = [&live_plane] {
+    obs::live::LiveConfig cfg;
+    live_plane = std::make_unique<obs::live::LivePlane>(std::move(cfg));
+    obs::live::LivePlane& plane = *live_plane;
+    return SinkHandle{&plane, [&plane] { return plane.events_seen(); }};
+  };
   run_obs_legs(legs, config, reps);
   const ObsLeg& off = legs[0];
   const ObsLeg& flight = legs[1];
   const ObsLeg& jsonl_leg = legs[2];
+  const ObsLeg& live = legs[3];
   jsonl.reset();
   std::remove(jsonl_path.c_str());
 
@@ -822,15 +868,18 @@ int run_obs(const Flags& flags) {
   };
   const double flight_overhead = overhead(flight);
   const double jsonl_overhead = overhead(jsonl_leg);
+  const double live_overhead = overhead(live);
   const bool identical = off.fingerprint == flight.fingerprint &&
-                         off.fingerprint == jsonl_leg.fingerprint;
-  const bool within_budget = flight_overhead <= budget;
+                         off.fingerprint == jsonl_leg.fingerprint &&
+                         off.fingerprint == live.fingerprint;
+  const bool within_budget =
+      flight_overhead <= budget && live_overhead <= budget;
 
-  if (legs.size() > 3) {
-    std::cout << "  null: " << legs[3].seconds << " s, overhead "
-              << overhead(legs[3]) * 100.0 << "%\n";
+  if (legs.size() > 4) {
+    std::cout << "  null: " << legs[4].seconds << " s, overhead "
+              << overhead(legs[4]) * 100.0 << "%\n";
   }
-  for (const ObsLeg* leg : {&off, &flight, &jsonl_leg}) {
+  for (const ObsLeg* leg : {&off, &flight, &jsonl_leg, &live}) {
     std::cout << "  " << leg->name << ": " << leg->seconds << " s";
     if (leg->records > 0) std::cout << ", " << leg->records << " records";
     if (leg != &off) {
@@ -842,7 +891,7 @@ int run_obs(const Flags& flags) {
   }
   std::cout << "  metrics identical across legs: "
             << (identical ? "yes" : "NO — tracing changed the run") << '\n'
-            << "  flight budget (" << budget * 100.0 << "%): "
+            << "  flight+live budget (" << budget * 100.0 << "%): "
             << (within_budget ? "ok" : "EXCEEDED") << '\n';
 
   // One extra rep with the self-profiler armed (tracing off). It runs
@@ -869,7 +918,9 @@ int run_obs(const Flags& flags) {
     std::cerr << "cannot write " << path << '\n';
     return 1;
   }
-  out << "{\n  \"nodes\": "
+  out << "{\n";
+  write_machine_header(out);
+  out << "  \"nodes\": "
       << static_cast<std::uint64_t>(config.topology.width) *
              config.topology.height
       << ",\n  \"duration\": " << config.duration
@@ -878,14 +929,14 @@ int run_obs(const Flags& flags) {
               ? "exact_hops"
               : (config.fixed_unicast_cost ? "fixed4" : "average"))
       << "\",\n  \"reps\": " << reps << ",\n  \"legs\": [\n";
-  for (std::size_t i = 0; i < 3; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     const ObsLeg& leg = legs[i];
     out << "    {\"name\": \"" << leg.name
         << "\", \"seconds\": " << leg.seconds
         << ", \"records\": " << leg.records
         << ", \"overhead\": " << overhead(leg)
         << ", \"overhead_median\": " << paired_overhead_median(leg, off)
-        << "}" << (i < 2 ? "," : "") << '\n';
+        << "}" << (i < 3 ? "," : "") << '\n';
   }
   out << "  ],\n  \"profile\": [\n";
   for (std::size_t i = 0; i < profile_scopes.size(); ++i) {
@@ -899,6 +950,9 @@ int run_obs(const Flags& flags) {
       << ",\n  \"flight_overhead_median\": "
       << paired_overhead_median(flight, off)
       << ",\n  \"jsonl_overhead\": " << jsonl_overhead
+      << ",\n  \"live_overhead\": " << live_overhead
+      << ",\n  \"live_overhead_median\": "
+      << paired_overhead_median(live, off)
       << ",\n  \"budget\": " << budget
       << ",\n  \"within_budget\": " << (within_budget ? "true" : "false")
       << ",\n  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
@@ -909,8 +963,14 @@ int run_obs(const Flags& flags) {
     return 2;
   }
   if (!within_budget) {
-    std::cerr << "flight-recorder overhead " << flight_overhead * 100.0
-              << "% exceeds the " << budget * 100.0 << "% budget\n";
+    if (flight_overhead > budget) {
+      std::cerr << "flight-recorder overhead " << flight_overhead * 100.0
+                << "% exceeds the " << budget * 100.0 << "% budget\n";
+    }
+    if (live_overhead > budget) {
+      std::cerr << "live-plane overhead " << live_overhead * 100.0
+                << "% exceeds the " << budget * 100.0 << "% budget\n";
+    }
     return 3;
   }
   return 0;
@@ -1344,17 +1404,18 @@ int run_trace_bench(const Flags& flags) {
     return 1;
   }
   out.imbue(std::locale::classic());
-  out << "{\n  \"input_mib\": " << mib
+  out << "{\n";
+  // Interpreting the parallel leg needs the core count: on a
+  // single-core box the sharded parse is pure overhead, on CI
+  // runners it is where the speedup lives.
+  write_machine_header(out);
+  out << "  \"input_mib\": " << mib
       << ",\n  \"input_bytes\": " << ingest.bytes
       << ",\n  \"events\": " << legacy.events
       << ",\n  \"lines\": " << ingest.lines
       << ",\n  \"malformed\": " << ingest.malformed
       << ",\n  \"jobs\": " << jobs << ",\n  \"shards\": " << ingest.shards
       << ",\n  \"mapped\": " << (ingest.mapped ? "true" : "false")
-      // Interpreting the parallel leg needs the core count: on a
-      // single-core box the sharded parse is pure overhead, on CI
-      // runners it is where the speedup lives.
-      << ",\n  \"hw_threads\": " << std::thread::hardware_concurrency()
       << ",\n  \"reps\": " << reps << ",\n  \"legs\": [\n";
   const TraceLeg* legs[] = {&legacy, &serial, &parallel};
   for (std::size_t i = 0; i < 3; ++i) {

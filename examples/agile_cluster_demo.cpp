@@ -8,11 +8,19 @@
 //                        [--attack=<time>:<victim>[:<outage>]]
 //                        [--trace=run.jsonl [--trace-flush-every=256]]
 //                        [--flight-recorder[=N] [--flight-out=path]]
+//                        [--live-metrics[=live.prom] [--live-cadence=1]
+//                         [--alert=rule,rule,...]]
 //
 // Tracing: --trace shares one thread-safe JSONL sink across all reactor
 // threads; --flight-recorder gives every host its own binary ring (one
 // source per host in the dump) and dumps on exit, plus right after each
 // --attack kill. Analyze either output with realtor_trace.
+//
+// --live-metrics starts the wall-clock LiveMonitor: a sampler thread
+// reads the hosts' atomic counters every --live-cadence model seconds,
+// evaluates the same alert rules realtor_sim --live-metrics uses, and
+// rewrites the .prom file with the latest snapshot (watch it with
+// `watch cat live.prom`).
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -99,6 +107,27 @@ int main(int argc, char** argv) {
     };
   }
 
+  std::string live_out;
+  if (flags.has("live-metrics")) {
+    live_out = flags.get_string("live-metrics", "live.prom");
+    if (live_out == "true") live_out = "live.prom";
+    agile::LiveMonitorConfig live;
+    live.out = live_out;
+    live.cadence = flags.get_double("live-cadence", 1.0);
+    live.window = flags.get_double("live-window", 10.0);
+    const std::string rules = flags.get_string("alert", "");
+    std::size_t start = 0;
+    while (start < rules.size()) {
+      std::size_t comma = rules.find(',', start);
+      if (comma == std::string::npos) comma = rules.size();
+      if (comma > start) {
+        live.rules.push_back(rules.substr(start, comma - start));
+      }
+      start = comma + 1;
+    }
+    config.live = std::move(live);
+  }
+
   std::cout << "Spinning up " << config.num_hosts
             << " host reactors (queue " << config.queue_capacity
             << "s, REALTOR, datagram loss " << config.loss_probability
@@ -109,6 +138,10 @@ int main(int argc, char** argv) {
             << "x real time.\n\n";
 
   agile::Cluster cluster(config);
+  if (config.live && cluster.live() && !cluster.live()->ok()) {
+    std::cerr << cluster.live()->error() << '\n';
+    return 1;
+  }
   const agile::ClusterMetrics m = cluster.run();
 
   std::cout << "arrivals processed      " << m.arrivals_processed << '\n'
@@ -143,6 +176,11 @@ int main(int argc, char** argv) {
       }
       std::cout << ") -> " << flight_out << '\n';
     }
+  }
+
+  if (agile::LiveMonitor* live = cluster.live()) {
+    std::cout << "live: " << live->snapshots() << " snapshots, "
+              << live->alerts_fired() << " alerts -> " << live_out << '\n';
   }
 
   std::cout << "\nTry --loss=0.2 to watch the soft-state protocol shrug off "

@@ -57,6 +57,11 @@ Cluster::Cluster(const ClusterConfig& config)
     hosts_.push_back(std::make_unique<HostRuntime>(
         host_config, clock_, network_, naming_, resolver));
   }
+  if (config_.live) {
+    LiveMonitorConfig live = *config_.live;
+    live.node_count = config_.num_hosts;
+    live_ = std::make_unique<LiveMonitor>(std::move(live));
+  }
 }
 
 Cluster::~Cluster() {
@@ -125,6 +130,31 @@ ClusterMetrics Cluster::run() {
   // Reactors are up; re-base model time so thread spawn latency does not
   // consume the experiment timeline.
   clock_.reset_epoch();
+  if (live_ && live_->ok()) {
+    live_->start(clock_, [this] {
+      LiveMonitor::Sample s;
+      for (const auto& host : hosts_) {
+        const HostStats& stats = host->stats();
+        s.admitted += stats.admitted_local.load(std::memory_order_relaxed) +
+                      stats.admitted_migrated.load(std::memory_order_relaxed);
+        s.rejected += stats.rejected.load(std::memory_order_relaxed);
+        s.helps += stats.helps_sent.load(std::memory_order_relaxed);
+        s.messages +=
+            stats.helps_sent.load(std::memory_order_relaxed) +
+            stats.pledges_sent.load(std::memory_order_relaxed) +
+            stats.negotiation_calls.load(std::memory_order_relaxed);
+        s.episodes_closed +=
+            stats.migration_latency_samples.load(std::memory_order_relaxed);
+        s.latency_sum +=
+            static_cast<double>(
+                stats.migration_latency_us.load(std::memory_order_relaxed)) *
+            1e-6;
+        if (host->running()) ++s.nodes_alive;
+      }
+      s.episodes_issued = episodes_.issued();
+      return s;
+    });
+  }
 
   for (const sim::Arrival& arrival : trace) {
     apply_events_until(arrival.time);
@@ -140,6 +170,7 @@ ClusterMetrics Cluster::run() {
   std::this_thread::sleep_until(
       clock_.wall_at(config_.model_duration + config_.drain));
 
+  if (live_) live_->stop();  // final sample before hosts stop
   ClusterMetrics metrics = aggregate(trace.size());
   metrics.hosts_killed = killed;
   metrics.hosts_restored = restored;

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "agile/channel.hpp"
 #include "agile/clock.hpp"
 #include "agile/host_runtime.hpp"
+#include "agile/live_monitor.hpp"
 #include "agile/naming.hpp"
 #include "common/types.hpp"
 #include "proto/config.hpp"
@@ -67,6 +69,13 @@ struct ClusterConfig {
   /// pre-attack window is still in memory. attack_index counts kills in
   /// schedule order.
   std::function<void(std::size_t attack_index, SimTime time)> on_attack;
+
+  /// Wall-clock live telemetry: when set, Cluster::run() starts a
+  /// LiveMonitor that samples the hosts' atomic counters every
+  /// live->cadence model seconds, evaluates the shared alert-rule set,
+  /// and writes Prometheus-text snapshots to live->out. node_count is
+  /// filled in from num_hosts automatically.
+  std::optional<LiveMonitorConfig> live;
 };
 
 struct ClusterMetrics {
@@ -118,6 +127,9 @@ class Cluster {
   /// Discovery episodes opened across all hosts (atomic; see
   /// obs::EpisodeSource).
   const obs::EpisodeSource& episodes() const { return episodes_; }
+  /// The wall-clock telemetry monitor; nullptr unless ClusterConfig::live
+  /// was set. Valid for introspection after run() returns.
+  LiveMonitor* live() { return live_.get(); }
 
  private:
   ClusterMetrics aggregate(std::uint64_t generated) const;
@@ -131,6 +143,7 @@ class Cluster {
   /// each pointing at the factory-provided sink. Empty when untraced.
   std::vector<std::unique_ptr<obs::Tracer>> tracers_;
   std::vector<std::unique_ptr<HostRuntime>> hosts_;
+  std::unique_ptr<LiveMonitor> live_;
   bool ran_ = false;
 };
 

@@ -123,6 +123,10 @@ class HostRuntime {
   /// Current queue occupancy in [0, 1]; thread-safe.
   double occupancy() const;
 
+  /// True while the reactor thread is serving (false between stop() and
+  /// restart()); thread-safe. The live monitor's nodes_alive gauge.
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
   const HostStats& stats() const { return stats_; }
 
  private:

@@ -1,0 +1,160 @@
+// Wall-clock live telemetry for the threaded agile runtime.
+//
+// The simulation's live plane (obs/live/live_plane.hpp) is tick-driven by
+// trace events and therefore deterministic. The agile testbed has no such
+// luxury: twenty reactor threads bump atomic counters in real time. The
+// LiveMonitor closes the gap by sampling those counters from its own
+// wall-clock thread at a model-time cadence, feeding the *same* window
+// and rule machinery (obs/live/window.hpp, obs/live/rules.hpp), and
+// writing the same Prometheus-text exposition. Alert semantics match the
+// simulation plane; only the evidence differs — counter deltas per
+// sampling interval instead of individual trace events, so:
+//
+//   - admission decisions within one interval enter the decision window
+//     admitted-first (their true interleaving is unobservable);
+//   - episode latency quantiles are fed the interval's mean migration
+//     latency (HostStats keeps a sum, not per-episode values);
+//   - open_episodes is issued minus decided, an upper bound.
+//
+// Firings are wall-clock sampled and therefore advisory, not replayable —
+// the determinism guarantee belongs to the simulation plane alone.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agile/clock.hpp"
+#include "common/types.hpp"
+#include "obs/live/rules.hpp"
+#include "obs/live/window.hpp"
+
+namespace realtor::agile {
+
+struct LiveMonitorConfig {
+  /// Exposition destination: a file path (rewritten in place per snapshot
+  /// so it always holds the latest scrape), "-" (stdout, appending), or
+  /// empty (no file — snapshots still accumulate in exposition()).
+  std::string out;
+  /// Model seconds between samples (converted to wall time by the
+  /// cluster's Clock).
+  double cadence = 1.0;
+  /// Time-window span in model seconds for rate/latency signals.
+  double window = 30.0;
+  /// Ring buckets per time window.
+  std::size_t buckets = 6;
+  /// Count window (decisions) for admission signals.
+  std::size_t decision_window = 50;
+  /// Per-bucket quantile reservoir for the latency window.
+  std::size_t latency_reservoir = 256;
+  /// Rule specs (obs/live/rules.hpp grammar). Empty = defaults.
+  std::vector<std::string> rules;
+  /// Host count for the nodes_alive gauge denominator.
+  std::uint64_t node_count = 0;
+};
+
+/// Samples the cluster's atomics on a wall-clock thread and evaluates the
+/// shared live-alert rule set. One monitor per Cluster::run().
+class LiveMonitor {
+ public:
+  /// Cumulative counters at one sampling instant (the monitor diffs
+  /// consecutive samples itself).
+  struct Sample {
+    SimTime now = 0.0;  // model time; stamped by the monitor in thread mode
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t helps = 0;
+    /// All protocol sends: helps + pledges + negotiation calls.
+    std::uint64_t messages = 0;
+    /// Closed discovery episodes (migration latency samples).
+    std::uint64_t episodes_closed = 0;
+    /// Total migration latency over the closed episodes, model seconds.
+    double latency_sum = 0.0;
+    std::int64_t nodes_alive = 0;
+    std::uint64_t episodes_issued = 0;
+  };
+  using Sampler = std::function<Sample()>;
+  using AlertListener = std::function<void(
+      const obs::live::AlertRule& rule, bool firing, SimTime time,
+      double value)>;
+
+  explicit LiveMonitor(LiveMonitorConfig config);
+  ~LiveMonitor();
+  LiveMonitor(const LiveMonitor&) = delete;
+  LiveMonitor& operator=(const LiveMonitor&) = delete;
+
+  /// False when a rule failed to parse; error() explains.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  void set_alert_listener(AlertListener listener);
+
+  /// Spawns the sampling thread: every `cadence` model seconds it calls
+  /// `sampler`, evaluates rules, and writes a snapshot. `clock` must
+  /// outlive the monitor.
+  void start(const Clock& clock, Sampler sampler);
+  /// Takes one final sample, writes the final snapshot, joins the thread.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// Direct-drive mode for tests: feed one cumulative sample (no thread).
+  void observe(const Sample& sample);
+
+  // Introspection (thread-safe after stop(); racy but safe during a run).
+  std::uint64_t snapshots() const;
+  std::uint64_t alerts_fired() const;
+  bool alert_firing(const std::string& name) const;
+  /// Concatenated snapshot history (same text as the `out` target's
+  /// latest snapshot, but never truncated).
+  std::string exposition() const;
+
+ private:
+  struct RuleState {
+    obs::live::AlertRule rule;
+    bool firing = false;
+    double last_value = 0.0;
+    std::optional<obs::live::TailWindow> tail;
+    std::optional<obs::live::SlidingWindow> sliding;
+  };
+
+  void ingest_locked(const Sample& sample, bool final_sample);
+  double evaluate_locked(RuleState& state, SimTime now,
+                         double* effective_bound);
+  void write_snapshot_locked(SimTime now, bool final_sample);
+  void run_loop(const Clock* clock);
+
+  LiveMonitorConfig config_;
+  bool ok_ = true;
+  std::string error_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool stopped_ = true;
+  Sampler sampler_;
+  AlertListener alert_listener_;
+
+  std::vector<RuleState> rules_;
+  obs::live::TailWindow decisions_;
+  obs::live::SlidingWindow helps_;
+  obs::live::SlidingWindow messages_;
+  obs::live::SlidingWindow rejections_;
+  obs::live::SlidingWindow episode_latency_;
+
+  bool have_prev_ = false;
+  Sample prev_;
+  std::uint64_t decisions_total_ = 0;
+  std::uint64_t snapshots_ = 0;
+  std::uint64_t alerts_fired_ = 0;
+
+  std::string text_;
+  bool to_stdout_ = false;
+};
+
+}  // namespace realtor::agile

@@ -144,6 +144,7 @@ ScenarioConfig scenario_from_flags(const Flags& flags) {
   config.sample_interval = flags.get_double("sample-interval", 0.0);
   config.engine_sample_every = static_cast<std::uint64_t>(
       flags.get_int("engine-sample", 0));
+  config.live_cadence = flags.get_double("live-cadence", 0.0);
   return config;
 }
 

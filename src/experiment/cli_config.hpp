@@ -18,7 +18,7 @@
 //               --federate=WxH (mesh blocks)  --escalation-window
 //               --elusive=<period>
 //   output:    --timeline=<interval>  --sample-interval=<s>
-//              --engine-sample=<n>
+//              --engine-sample=<n>  --live-cadence=<s>
 #pragma once
 
 #include "common/flags.hpp"

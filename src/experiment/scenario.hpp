@@ -144,6 +144,14 @@ struct ScenarioConfig {
   /// Emit one sampled engine_step trace record every N processed engine
   /// events (0 = off; disabled costs one integer test per event).
   std::uint64_t engine_sample_every = 0;
+  /// Period of live_tick trace records — the window-advancement and
+  /// alert-evaluation boundaries the live telemetry plane (obs/live)
+  /// reacts to; 0 disables them. The recurring engine event is scheduled
+  /// whether or not a sink is attached (only the emission is gated on
+  /// tracing), so live-enabled and live-disabled runs of a seed stay
+  /// event-for-event identical. A final tick is emitted at the run's end
+  /// when the last periodic one landed earlier.
+  SimTime live_cadence = 0.0;
 
   /// When true the internal Poisson generator stays off and the caller
   /// drives the workload through Simulation::inject() (trace replay).

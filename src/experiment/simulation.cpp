@@ -468,6 +468,9 @@ void Simulation::begin_run() {
   if (sampler_) {
     sampler_->start();
   }
+  if (config_.live_cadence > 0.0) {
+    engine_.schedule_in(config_.live_cadence, [this] { live_tick(); });
+  }
   if (config_.engine_sample_every > 0) {
     engine_.set_observer(
         config_.engine_sample_every,
@@ -537,6 +540,16 @@ void Simulation::take_timeline_sample() {
   timeline_.push_back(sample);
 }
 
+void Simulation::live_tick() {
+  // Always re-arm before emitting so the engine schedule is identical
+  // whether or not a sink is attached (same contract as the sampler).
+  engine_.schedule_in(config_.live_cadence, [this] { live_tick(); });
+  const SimTime now = engine_.now();
+  live_last_tick_ = now;
+  if (!tracing()) return;
+  tracer_.emit(obs::TraceEvent(now, kInvalidNode, obs::EventKind::kLiveTick));
+}
+
 void Simulation::sample_observability(SimTime now) {
   const std::size_t alive = topology_.alive_count();
   double occupancy_sum = 0.0;
@@ -569,6 +582,17 @@ void Simulation::sample_observability(SimTime now) {
 
 void Simulation::finalize_telemetry() {
   const SimTime now = engine_.now();
+  // Last-sample-at-end: close the sampled time series at the run's final
+  // instant, then close the live plane with a final tick so its last
+  // snapshot covers everything (including the samples just emitted).
+  if (sampler_) {
+    sampler_->finish(now);
+  }
+  if (config_.live_cadence > 0.0 && live_last_tick_ < now && tracing()) {
+    live_last_tick_ = now;
+    tracer_.emit(obs::TraceEvent(now, kInvalidNode, obs::EventKind::kLiveTick)
+                     .with("final", true));
+  }
   double occupancy_sum = 0.0;
   double utilization_sum = 0.0;
   for (const auto& monitor : monitors_) {

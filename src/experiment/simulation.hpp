@@ -149,6 +149,7 @@ class Simulation {
   void evacuate(NodeId victim);
   void elusive_round();
   void take_timeline_sample();
+  void live_tick();
   void on_liveness_change(NodeId nodeid, bool alive);
   void schedule_attacks(const std::vector<AttackWave>& waves);
   void finalize_telemetry();
@@ -177,6 +178,8 @@ class Simulation {
   obs::EpisodeSource episodes_;
   obs::Registry registry_;
   std::optional<obs::Sampler> sampler_;
+  /// Time of the newest live_tick boundary; negative before the first.
+  SimTime live_last_tick_ = -1.0;
   bool begun_ = false;
   bool finished_ = false;
   /// defer_attacks() state: reservation size requested, the first sequence

@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "experiment/simulation.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/live/live_plane.hpp"
 #include "proto/factory.hpp"
 
 namespace realtor::experiment {
@@ -196,30 +197,53 @@ RunSinkFactory make_run_sink_factory(RunSinkOptions options) {
   REALTOR_ASSERT_MSG(
       options.jsonl_prefix.empty() || options.flight_prefix.empty(),
       "a sweep run gets one sink: JSONL or flight recorder, not both");
-  if (options.jsonl_prefix.empty() && options.flight_prefix.empty()) {
+  if (options.jsonl_prefix.empty() && options.flight_prefix.empty() &&
+      options.live_prefix.empty()) {
     return {};
   }
   return [options = std::move(options)](
              const RunId& id) -> std::unique_ptr<obs::TraceSink> {
+    const auto run_name = [&](const std::string& prefix,
+                              const char* extension) {
+      std::ostringstream name;
+      name << prefix << '.' << proto::to_string(id.kind) << ".lambda"
+           << format_double(id.lambda, 3);
+      if (options.attack_suffix) name << ".att" << id.attack_set;
+      name << ".rep" << id.rep << extension;
+      return name.str();
+    };
     const bool flight = !options.flight_prefix.empty();
-    std::ostringstream name;
-    name << (flight ? options.flight_prefix : options.jsonl_prefix) << '.'
-         << proto::to_string(id.kind) << ".lambda"
-         << format_double(id.lambda, 3);
-    if (options.attack_suffix) name << ".att" << id.attack_set;
-    name << ".rep" << id.rep << (flight ? ".bin" : ".jsonl");
+    std::unique_ptr<obs::TraceSink> sink;
     if (flight) {
       // Dumps on flush (the run flushes after completion) or destruction.
-      return std::make_unique<obs::FlightDumpSink>(name.str(),
-                                                   options.flight_capacity);
+      sink = std::make_unique<obs::FlightDumpSink>(
+          run_name(options.flight_prefix, ".bin"), options.flight_capacity);
+    } else if (!options.jsonl_prefix.empty()) {
+      const std::string name = run_name(options.jsonl_prefix, ".jsonl");
+      auto jsonl =
+          std::make_unique<obs::JsonlSink>(name, options.jsonl_flush_every);
+      if (!jsonl->ok()) {
+        std::cerr << "cannot write " << name << '\n';
+      } else {
+        sink = std::move(jsonl);
+      }
     }
-    auto sink = std::make_unique<obs::JsonlSink>(name.str(),
-                                                 options.jsonl_flush_every);
-    if (!sink->ok()) {
-      std::cerr << "cannot write " << name.str() << '\n';
-      return nullptr;
+    if (options.live_prefix.empty()) return sink;
+    // Buffered exposition: each run (or forked child) accumulates its own
+    // snapshot history in memory and writes it at flush, so parallel
+    // workers never share a file and the bytes match the serial path.
+    obs::live::LiveConfig live;
+    live.out = run_name(options.live_prefix, ".prom");
+    live.rules = options.live_rules;
+    live.window = options.live_window;
+    live.node_count = options.live_nodes;
+    auto plane = std::make_unique<obs::live::LivePlane>(std::move(live));
+    if (!plane->ok()) {
+      std::cerr << plane->error() << '\n';
+      return sink;
     }
-    return sink;
+    plane->set_owned_downstream(std::move(sink));
+    return plane;
   };
 }
 

@@ -149,6 +149,21 @@ struct RunSinkOptions {
   /// sets of the same cell would clobber one file. Single-schedule sweeps
   /// leave it off and keep the legacy names.
   bool attack_suffix = false;
+  /// Live telemetry plane: non-empty wraps each run's sink in an
+  /// obs::live::LivePlane whose buffered exposition history is written to
+  /// prefix.<proto>.lambda<L>[.att<K>].rep<R>.prom when the run flushes.
+  /// The plane owns the run's JSONL/flight sink (when one is configured)
+  /// as its downstream, so alert_firing/alert_cleared events land in the
+  /// trace files too; it also composes with no downstream (exposition
+  /// only). Requires ScenarioConfig::live_cadence > 0 for the ticks that
+  /// drive snapshots.
+  std::string live_prefix;
+  /// Alert-rule specs for live runs (empty = the default rule set).
+  std::vector<std::string> live_rules;
+  /// LiveConfig window defaults for live runs.
+  double live_window = 30.0;
+  /// Topology size hint for the nodes_alive gauge in live runs.
+  std::uint64_t live_nodes = 0;
 };
 
 /// The per-run sink factory shared by realtor_sim --sweep and the bench

@@ -165,6 +165,7 @@ std::string canonical_prefix(const ScenarioConfig& config) {
   w.field("timeline_interval", config.timeline_interval);
   w.field("sample_interval", config.sample_interval);
   w.field("engine_sample_every", config.engine_sample_every);
+  w.field("live_cadence", config.live_cadence);
   w.field("external_arrivals", config.external_arrivals);
   return w.str();
 }

@@ -33,6 +33,7 @@ void Histogram::observe(double value) {
   stats_.add(value);
   if (reservoir_.size() < capacity_) {
     reservoir_.push_back(value);
+    seqs_.push_back(stats_.count());
     return;
   }
   // Algorithm R: element i of the stream survives with probability
@@ -40,6 +41,44 @@ void Histogram::observe(double value) {
   const std::uint64_t slot = next_u64(rng_state_) % stats_.count();
   if (slot < capacity_) {
     reservoir_[static_cast<std::size_t>(slot)] = value;
+    seqs_[static_cast<std::size_t>(slot)] = stats_.count();
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.stats_.count() == 0) return;
+  struct Entry {
+    double value;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(reservoir_.size() + other.reservoir_.size());
+  for (std::size_t i = 0; i < reservoir_.size(); ++i) {
+    entries.push_back({reservoir_[i], seqs_[i]});
+  }
+  for (std::size_t i = 0; i < other.reservoir_.size(); ++i) {
+    entries.push_back({other.reservoir_[i], other.seqs_[i]});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.value != b.value ? a.value < b.value : a.seq < b.seq;
+            });
+  stats_.merge(other.stats_);
+  reservoir_.clear();
+  seqs_.clear();
+  if (entries.size() <= capacity_) {
+    for (const Entry& entry : entries) {
+      reservoir_.push_back(entry.value);
+      seqs_.push_back(entry.seq);
+    }
+    return;
+  }
+  // Even stride over the sorted union: keeps the retained sample's
+  // quantile shape and is a pure function of the two reservoirs.
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const std::size_t pick = i * entries.size() / capacity_;
+    reservoir_.push_back(entries[pick].value);
+    seqs_.push_back(entries[pick].seq);
   }
 }
 
@@ -64,6 +103,7 @@ double Histogram::quantile(double q) const {
 void Histogram::reset() {
   stats_ = OnlineStats{};
   reservoir_.clear();
+  seqs_.clear();
   rng_state_ = 0x9e3779b97f4a7c15ULL;
 }
 

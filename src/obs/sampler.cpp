@@ -19,8 +19,17 @@ void Sampler::start() {
 
 void Sampler::tick() {
   engine_.schedule_in(interval_, [this] { tick(); });
+  sample(engine_.now());
+}
+
+void Sampler::finish(SimTime now) {
+  if (last_tick_ >= now) return;
+  sample(now);
+}
+
+void Sampler::sample(SimTime now) {
   ++ticks_;
-  const SimTime now = engine_.now();
+  last_tick_ = now;
   for (const Probe& probe : probes_) {
     probe(now);
   }

@@ -34,11 +34,23 @@ class Sampler {
   /// Schedules the first tick `interval` seconds from now.
   void start();
 
+  /// Last-sample-at-end: emits one final probe-and-flatten pass at `now`
+  /// when the most recent periodic tick landed earlier — the interval not
+  /// dividing the horizon, or exceeding it entirely (zero periodic ticks).
+  /// The harness calls this once when the run's clock stops, so every
+  /// sampled run ends with a sample at its final instant; a periodic tick
+  /// that already fired at `now` makes this a no-op. Counts as a tick.
+  void finish(SimTime now);
+
   SimTime interval() const { return interval_; }
   std::uint64_t ticks() const { return ticks_; }
+  /// Time of the most recent sample; negative before the first one.
+  SimTime last_tick() const { return last_tick_; }
 
  private:
   void tick();
+  /// The probe-and-flatten body shared by tick() and finish().
+  void sample(SimTime now);
   /// Stable storage for flattened metric names: TraceField keeps borrowed
   /// const char* slots, so every name a system_sample record mentions is
   /// interned here once.
@@ -52,6 +64,7 @@ class Sampler {
   std::deque<std::string> name_arena_;
   std::unordered_map<std::string, const char*> interned_;
   std::uint64_t ticks_ = 0;
+  SimTime last_tick_ = -1.0;
 };
 
 }  // namespace realtor::obs

@@ -62,6 +62,12 @@ const char* to_string(EventKind kind) {
       return "node_sample";
     case EventKind::kSystemSample:
       return "system_sample";
+    case EventKind::kLiveTick:
+      return "live_tick";
+    case EventKind::kAlertFiring:
+      return "alert_firing";
+    case EventKind::kAlertCleared:
+      return "alert_cleared";
     case EventKind::kCount:
       break;
   }

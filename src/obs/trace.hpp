@@ -82,6 +82,10 @@ enum class EventKind : std::uint8_t {
   kEngineStep,    // sampled every N processed events
   kNodeSample,    // periodic per-node occupancy/utilization/soft-state
   kSystemSample,  // periodic system-wide gauges (one record per metric)
+  // Live telemetry plane (obs/live).
+  kLiveTick,      // engine-driven window-advancement boundary (sim time)
+  kAlertFiring,   // an alert rule's condition started holding at a tick
+  kAlertCleared,  // a firing alert's condition stopped holding
   kCount,
 };
 

@@ -387,6 +387,86 @@ TEST(Sampler, TicksAtIntervalAndFlattensRegistry) {
   EXPECT_DOUBLE_EQ(sample.fields[1].d, 5.0);
 }
 
+// Cadence edge cases around Sampler::finish() — the last-sample-at-end
+// contract the live plane's final exposition snapshot depends on.
+TEST(Sampler, IntervalLongerThanHorizonStillSamplesAtEnd) {
+  sim::Engine engine;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  Registry registry;
+  registry.counter("sent").add(1);
+  Sampler sampler(engine, 50.0, tracer, &registry);
+  sampler.start();
+  engine.run_until(30.0);
+  // No interval boundary fits inside the horizon...
+  EXPECT_EQ(sink.count(EventKind::kSystemSample), 0u);
+  // ...so the final flush is the only gauge record the run gets.
+  sampler.finish(30.0);
+  EXPECT_EQ(sink.count(EventKind::kSystemSample), 1u);
+  EXPECT_DOUBLE_EQ(sampler.last_tick(), 30.0);
+  EXPECT_DOUBLE_EQ(sink.events().back().time, 30.0);
+}
+
+TEST(Sampler, NonDividingIntervalGetsAFinalPartialSample) {
+  sim::Engine engine;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  Registry registry;
+  registry.counter("sent").add(1);
+  Sampler sampler(engine, 10.0, tracer, &registry);
+  sampler.start();
+  engine.run_until(35.0);
+  EXPECT_EQ(sampler.ticks(), 3u);  // 10, 20, 30
+  sampler.finish(35.0);
+  EXPECT_EQ(sampler.ticks(), 4u);  // + the 35.0 tail
+  ASSERT_EQ(sink.count(EventKind::kSystemSample), 4u);
+  EXPECT_DOUBLE_EQ(sink.events().back().time, 35.0);
+}
+
+TEST(Sampler, FinishIsIdempotentAndSkipsAlignedHorizons) {
+  sim::Engine engine;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  Registry registry;
+  registry.counter("sent").add(1);
+  Sampler sampler(engine, 10.0, tracer, &registry);
+  sampler.start();
+  engine.run_until(30.0);
+  // run_until is inclusive: the tick scheduled at exactly t=30 fired, so
+  // finish(30) must not double-sample the horizon...
+  EXPECT_EQ(sampler.ticks(), 3u);
+  sampler.finish(30.0);
+  EXPECT_EQ(sampler.ticks(), 3u);
+  // ...and a second finish at the same instant stays a no-op.
+  sampler.finish(30.0);
+  EXPECT_EQ(sampler.ticks(), 3u);
+  EXPECT_EQ(sink.count(EventKind::kSystemSample), 3u);
+}
+
+TEST(Sampler, ReArmsAcrossDrainedStretches) {
+  sim::Engine engine;
+  Tracer tracer;
+  MemorySink sink;
+  tracer.set_sink(&sink);
+  Registry registry;
+  registry.counter("sent").add(1);
+  Sampler sampler(engine, 10.0, tracer, &registry);
+  sampler.start();
+  // Drain the queue in two bursts: the tick must keep rescheduling itself
+  // through the first drain so the second stretch still gets sampled.
+  engine.run_until(15.0);
+  EXPECT_EQ(sampler.ticks(), 1u);
+  engine.run_until(45.0);
+  EXPECT_EQ(sampler.ticks(), 4u);  // 10, 20, 30, 40
+  EXPECT_DOUBLE_EQ(sampler.last_tick(), 40.0);
+  // finish() after the fast-forward closes out the tail as usual.
+  sampler.finish(45.0);
+  EXPECT_EQ(sampler.ticks(), 5u);
+}
+
 TEST(LogSinkSatellite, CapturesAndRestores) {
   std::vector<std::pair<LogLevel, std::string>> captured;
   const LogLevel before = log_level();

@@ -22,6 +22,22 @@
 //                                          # smaller ring, explicit dump
 //                                          # path; attack waves also dump
 //                                          # run.bin.attack<k>.bin
+//   realtor_sim --live-metrics=live.prom   # live telemetry plane: the
+//                                          # file is rewritten with a
+//                                          # Prometheus-text snapshot at
+//                                          # every --live-cadence (default
+//                                          # 10 sim s) boundary; "-" /
+//                                          # "fd:3" stream to stdout / an
+//                                          # inherited descriptor
+//   realtor_sim --live-metrics=live.prom \
+//     --alert="p99:episode_p99>5/60,storm:help_rate>3x/30"
+//                                          # custom alert rules (comma
+//                                          # list; see obs/live/rules.hpp
+//                                          # for the grammar). Firings are
+//                                          # alert_firing trace events; with
+//                                          # --flight-recorder each firing
+//                                          # also dumps the rings to
+//                                          # <flight-out>.alert-<rule>.bin
 //   realtor_sim --profile                  # hierarchical self-profiler:
 //                                          # per-scope wall time tree
 //   realtor_sim --profile=prof.tsv         # ... also dumped as TSV for
@@ -68,6 +84,7 @@
 #include "experiment/sweep.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/live/live_plane.hpp"
 #include "proto/factory.hpp"
 #include "trace/workload_csv.hpp"
 
@@ -83,6 +100,22 @@ std::size_t flight_capacity_from(const Flags& flags) {
       static_cast<std::int64_t>(obs::kDefaultFlightCapacity));
   return n > 0 ? static_cast<std::size_t>(n) : obs::kDefaultFlightCapacity;
 }
+
+/// --alert accepts a comma-separated rule list (the grammar itself never
+/// uses commas); empty entries are dropped.
+std::vector<std::string> alert_rules_from(const Flags& flags) {
+  std::vector<std::string> rules;
+  std::istringstream stream(flags.get_string("alert", ""));
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) rules.push_back(item);
+  }
+  return rules;
+}
+
+/// Sim-time cadence of live_tick boundaries when --live-metrics is on and
+/// the user did not pick one explicitly.
+constexpr double kDefaultLiveCadence = 10.0;
 
 int run_single(const Flags& flags) {
   experiment::ScenarioConfig config =
@@ -120,10 +153,35 @@ int run_single(const Flags& flags) {
     // rings; pass --sample-interval to add them).
     flight.emplace(flight_capacity_from(flags));
   }
+  // --live-metrics[=<file|fd:N|->]: wrap whichever sink the run uses in
+  // the live telemetry plane (write-through: the operator can watch the
+  // target while the run executes). Works standalone too — the plane is
+  // itself a sink.
+  std::unique_ptr<obs::live::LivePlane> live;
+  std::string live_out;
+  std::size_t alert_dumps = 0;
+  if (flags.has("live-metrics")) {
+    live_out = flags.get_string("live-metrics", "");
+    if (live_out == "true") live_out = "live.prom";  // bare flag
+    if (!flags.has("live-cadence")) config.live_cadence = kDefaultLiveCadence;
+    obs::live::LiveConfig live_config;
+    live_config.out = live_out;
+    live_config.window = flags.get_double("live-window", 30.0);
+    live_config.rules = alert_rules_from(flags);
+    live_config.node_count =
+        experiment::build_topology(config.topology).num_nodes();
+    live_config.write_through = true;
+    live = std::make_unique<obs::live::LivePlane>(std::move(live_config));
+    if (!live->ok()) {
+      std::cerr << live->error() << '\n';
+      return 1;
+    }
+  }
   const auto attach_tracing = [&](experiment::Simulation& sim) {
-    if (event_sink) sim.set_trace_sink(&*event_sink);
+    obs::TraceSink* base = nullptr;
+    if (event_sink) base = &*event_sink;
     if (flight) {
-      sim.set_trace_sink(&flight->ring(0));
+      base = &flight->ring(0);
       // Dump-on-attack: snapshot the rings right after each wave's kills
       // land, while the pre-attack window is still in memory.
       sim.set_attack_wave_listener([&](std::size_t wave, SimTime) {
@@ -136,6 +194,29 @@ int run_single(const Flags& flags) {
           std::cerr << error << '\n';
         }
       });
+    }
+    if (live) {
+      live->set_downstream(base);
+      sim.set_trace_sink(live.get());
+      if (flight) {
+        // Dump-on-alert: every firing snapshots the rings while the
+        // events that tripped the rule are still in memory. Re-firings
+        // of one rule overwrite its dump (latest wins).
+        live->set_alert_listener([&](const obs::live::AlertRule& rule,
+                                     bool firing, SimTime, double) {
+          if (!firing) return;
+          const std::string path =
+              flight_out + ".alert-" + rule.name + ".bin";
+          std::string error;
+          if (flight->dump(path, &error)) {
+            ++alert_dumps;
+          } else {
+            std::cerr << error << '\n';
+          }
+        });
+      }
+    } else if (base != nullptr) {
+      sim.set_trace_sink(base);
     }
   };
   // --profile[=out.tsv]: arm the self-profiler for this run; report the
@@ -182,7 +263,14 @@ int run_single(const Flags& flags) {
       if (attack_dumps > 0) {
         std::cout << ", " << attack_dumps << " attack dumps";
       }
+      if (alert_dumps > 0) {
+        std::cout << ", " << alert_dumps << " alert dumps";
+      }
       std::cout << ") -> " << flight_out << '\n';
+    }
+    if (live) {
+      std::cout << "live: " << live->snapshots() << " snapshots, "
+                << live->alerts_fired() << " alerts -> " << live_out << '\n';
     }
   };
 
@@ -304,8 +392,10 @@ int print_warm_start_plan(const experiment::ScenarioConfig& base,
 }
 
 int run_sweep_mode(const Flags& flags) {
-  const experiment::ScenarioConfig base =
-      experiment::scenario_from_flags(flags);
+  experiment::ScenarioConfig base = experiment::scenario_from_flags(flags);
+  if (flags.has("live-metrics") && !flags.has("live-cadence")) {
+    base.live_cadence = kDefaultLiveCadence;
+  }
   auto options = experiment::paper_sweep_options(
       flags.get_double_list("sweep", {2.0, 4.0, 6.0, 8.0, 10.0}),
       static_cast<std::uint32_t>(flags.get_int("reps", 3)));
@@ -356,6 +446,18 @@ int run_sweep_mode(const Flags& flags) {
     std::cerr << "--trace and --flight-recorder are mutually exclusive in "
                  "sweep mode (one sink per run)\n";
     return 1;
+  }
+  // --live-metrics=<prefix> in sweep mode: one buffered exposition history
+  // per run (prefix.<proto>.lambda<L>[.att<K>].rep<R>.prom), wrapping the
+  // run's JSONL/flight sink when one is armed. Byte-identical across
+  // --jobs values and --exec modes for a fixed seed.
+  if (flags.has("live-metrics")) {
+    sink_options.live_prefix = flags.get_string("live-metrics", "");
+    if (sink_options.live_prefix == "true") sink_options.live_prefix = "live";
+    sink_options.live_rules = alert_rules_from(flags);
+    sink_options.live_window = flags.get_double("live-window", 30.0);
+    sink_options.live_nodes =
+        experiment::build_topology(base.topology).num_nodes();
   }
   options.make_trace_sink =
       experiment::make_run_sink_factory(std::move(sink_options));

@@ -36,6 +36,22 @@
 //                                            # a realtor_sim --profile dump
 //   realtor_trace run.jsonl --jobs=4 --stats # parallel ingest; bytes /
 //                                            # events / MB/s on stderr
+//   realtor_trace run.jsonl --follow         # live dashboard: reload the
+//                                            # growing file on each change
+//                                            # and render utilization per
+//                                            # node, open episodes, firing
+//                                            # alerts. --refresh=<s> poll
+//                                            # period, --plain appends
+//                                            # frames instead of clearing,
+//                                            # --once one frame, --idle-
+//                                            # exit=<s> stop after quiet,
+//                                            # --max-frames=<n> frame cap
+//   realtor_trace run.jsonl --follow --once --check
+//                                            # render, then gate: the
+//                                            # invariant checker judges
+//                                            # the final load (--follow
+//                                            # --check requires --once,
+//                                            # --idle-exit or --max-frames)
 //
 // Ingest goes through obs/event_store.hpp: the file is mmap'd, parsed in
 // newline-sharded parallel (--jobs=N, default all hardware threads) into
@@ -54,11 +70,15 @@
 // input as a violation — an analysis that silently ignored part of its
 // input must not report a clean bill.
 //
-// Exit codes (relied on by CI):
+// Exit codes (relied on by CI; the README carries the per-combination
+// contract table, enforced by tests/cli/test_trace_exit_codes.sh):
 //   0  analysis ran and every requested gate passed
-//   1  bad usage or unreadable input (bad path, bad magic, bad flag)
+//   1  bad usage or unreadable input (bad path, bad magic, bad flag,
+//      --follow combined with an offline analysis mode, or
+//      --follow --check without a termination condition)
 //   2  a gate tripped: invariant violation, critical-path inconsistency,
-//      or dropped input under --check
+//      or dropped input under --check (including --follow --check over
+//      the final load)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -67,6 +87,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.hpp"
@@ -508,6 +529,253 @@ std::uint64_t file_size_of(const std::string& path) {
   return pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
 }
 
+/// One --follow dashboard frame rendered from a freshly loaded store.
+void render_follow_frame(const obs::EventStore& store,
+                         const std::string& path, std::uint64_t frame,
+                         std::uint64_t dropped, bool plain) {
+  if (!plain) std::fputs("\x1b[H\x1b[2J", stdout);  // clear + home
+
+  const obs::StrId k_help = store.find_id("help_sent");
+  const obs::StrId k_pledge = store.find_id("pledge_sent");
+  const obs::StrId k_arrival = store.find_id("task_arrival");
+  const obs::StrId k_local = store.find_id("task_admit_local");
+  const obs::StrId k_migrated = store.find_id("task_admit_migrated");
+  const obs::StrId k_rejected = store.find_id("task_rejected");
+  const obs::StrId k_killed = store.find_id("node_killed");
+  const obs::StrId k_restored = store.find_id("node_restored");
+  const obs::StrId k_sample = store.find_id("node_sample");
+  const obs::StrId k_firing = store.find_id("alert_firing");
+  const obs::StrId k_cleared = store.find_id("alert_cleared");
+  const obs::StrId f_episode = store.find_id("episode");
+  const obs::StrId f_rule = store.find_id("rule");
+  const obs::StrId f_occupancy = store.find_id("occupancy");
+  const obs::StrId f_utilization = store.find_id("utilization");
+
+  double span_end = 0.0;
+  std::uint64_t helps = 0, pledges = 0, arrivals = 0, local = 0;
+  std::uint64_t migrated = 0, rejected = 0;
+  std::set<NodeId> seen, dead;
+  std::set<std::uint64_t> open_episodes;
+  std::uint64_t episodes_opened = 0, episodes_decided = 0;
+  struct NodeGauge {
+    double occupancy = 0.0;
+    double utilization = 0.0;
+  };
+  std::map<NodeId, NodeGauge> gauges;
+  struct AlertLine {
+    double time;
+    bool firing;
+    std::string rule;
+  };
+  std::map<std::string, AlertLine> alert_state;  // latest transition / rule
+  std::vector<AlertLine> recent;
+
+  for (const obs::EventRec& rec : store.records()) {
+    span_end = std::max(span_end, rec.time);
+    if (rec.node != kInvalidNode) seen.insert(rec.node);
+    if (rec.kind == k_arrival) ++arrivals;
+    if (rec.kind == k_local) ++local;
+    if (rec.kind == k_pledge) ++pledges;
+    if (rec.kind == k_killed) dead.insert(rec.node);
+    if (rec.kind == k_restored) dead.erase(rec.node);
+    if (rec.kind == k_help) {
+      ++helps;
+      const obs::EventView view(store, rec);
+      const std::uint64_t episode =
+          static_cast<std::uint64_t>(view.number(f_episode, 0.0));
+      if (episode != 0 && open_episodes.insert(episode).second) {
+        ++episodes_opened;
+      }
+    }
+    if (rec.kind == k_migrated || rec.kind == k_rejected) {
+      if (rec.kind == k_migrated) ++migrated;
+      if (rec.kind == k_rejected) ++rejected;
+      const obs::EventView view(store, rec);
+      const std::uint64_t episode =
+          static_cast<std::uint64_t>(view.number(f_episode, 0.0));
+      if (episode != 0 && open_episodes.erase(episode) > 0) {
+        ++episodes_decided;
+      }
+    }
+    if (rec.kind == k_sample && rec.node != kInvalidNode) {
+      const obs::EventView view(store, rec);
+      NodeGauge& gauge = gauges[rec.node];
+      gauge.occupancy = view.number(f_occupancy, 0.0);
+      gauge.utilization = view.number(f_utilization, 0.0);
+    }
+    if (rec.kind == k_firing || rec.kind == k_cleared) {
+      const obs::EventView view(store, rec);
+      const obs::StoredField* rule = view.find(f_rule);
+      AlertLine line{rec.time, rec.kind == k_firing,
+                     rule != nullptr ? std::string(rule->text) : "?"};
+      alert_state[line.rule] = line;
+      recent.push_back(std::move(line));
+    }
+  }
+
+  char when[32];
+  format_double(when, sizeof when, "%.3f", span_end);
+  std::printf("%s  frame %llu  t=[0, %s]  %llu records",
+              path.c_str(), static_cast<unsigned long long>(frame), when,
+              static_cast<unsigned long long>(store.size()));
+  if (dropped > 0) {
+    std::printf("  (%llu dropped)",
+                static_cast<unsigned long long>(dropped));
+  }
+  std::printf("\n\n");
+
+  std::printf("nodes: %llu seen, %llu alive",
+              static_cast<unsigned long long>(seen.size()),
+              static_cast<unsigned long long>(seen.size() - dead.size()));
+  if (!dead.empty()) {
+    std::printf(", %llu dead", static_cast<unsigned long long>(dead.size()));
+  }
+  std::printf("\ntasks: %llu arrivals, %llu admitted "
+              "(local %llu / migrated %llu), %llu rejected\n",
+              static_cast<unsigned long long>(arrivals),
+              static_cast<unsigned long long>(local + migrated),
+              static_cast<unsigned long long>(local),
+              static_cast<unsigned long long>(migrated),
+              static_cast<unsigned long long>(rejected));
+  std::printf("messages: %llu help, %llu pledge\n",
+              static_cast<unsigned long long>(helps),
+              static_cast<unsigned long long>(pledges));
+  std::printf("episodes: %llu opened, %llu decided, %llu open\n",
+              static_cast<unsigned long long>(episodes_opened),
+              static_cast<unsigned long long>(episodes_decided),
+              static_cast<unsigned long long>(open_episodes.size()));
+
+  if (!alert_state.empty()) {
+    std::printf("\nalerts:\n");
+    char time[32];
+    for (const auto& [rule, line] : alert_state) {
+      format_double(time, sizeof time, "%.3f", line.time);
+      std::printf("  %-24s %s since %s\n", rule.c_str(),
+                  line.firing ? "FIRING" : "clear ", time);
+    }
+    const std::size_t show = std::min<std::size_t>(recent.size(), 5);
+    std::printf("recent transitions:\n");
+    for (std::size_t i = recent.size() - show; i < recent.size(); ++i) {
+      format_double(time, sizeof time, "%.3f", recent[i].time);
+      std::printf("  %10s  %s %s\n", time,
+                  recent[i].firing ? "firing " : "cleared",
+                  recent[i].rule.c_str());
+    }
+  }
+
+  if (!gauges.empty()) {
+    std::printf("\n%6s %10s %12s  (latest node_sample)\n", "node",
+                "occupancy", "utilization");
+    std::size_t shown = 0;
+    for (const auto& [node, gauge] : gauges) {
+      if (shown >= 16) {
+        std::printf("  ... %llu more nodes\n",
+                    static_cast<unsigned long long>(gauges.size() - shown));
+        break;
+      }
+      ++shown;
+      char occ[32], util[32];
+      format_double(occ, sizeof occ, "%.3f", gauge.occupancy);
+      format_double(util, sizeof util, "%.3f", gauge.utilization);
+      std::printf("%6llu %10s %12s\n",
+                  static_cast<unsigned long long>(node), occ, util);
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// --follow: poll the file, reload on growth, render a dashboard frame.
+/// Terminates on --once, --max-frames, or --idle-exit; with --check the
+/// invariant gate then runs over the final load (exit 2 on violation or
+/// dropped input). Runs forever otherwise (Ctrl-C to stop).
+int run_follow(const std::string& path, const Flags& flags, unsigned jobs) {
+  const double refresh = std::max(0.05, flags.get_double("refresh", 1.0));
+  const bool once = flags.get_bool("once", false);
+  const bool plain = flags.get_bool("plain", false);
+  const double idle_exit = flags.get_double("idle-exit", 0.0);
+  const std::uint64_t max_frames = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(flags.get_int("max-frames", 0), 0));
+  const bool check = flags.get_bool("check", false);
+  if (check && !once && idle_exit <= 0.0 && max_frames == 0) {
+    std::cerr << "--follow --check needs a termination condition "
+                 "(--once, --idle-exit=<s> or --max-frames=<n>) so the "
+                 "gate has a final trace to judge\n";
+    return kExitUsage;
+  }
+
+  // Reloads the whole file; incremental tailing would be unsound for
+  // flight dumps (rewritten, not appended) and buys little for JSONL at
+  // dashboard cadence.
+  std::uint64_t dropped = 0;
+  const auto load = [&](obs::EventStore& store, std::string* error) {
+    dropped = 0;
+    if (obs::is_flight_file(path)) {
+      obs::FlightStoreInfo info;
+      obs::TraceLoadStats fstats;
+      if (!obs::load_flight_file(path, store, info, fstats, error)) {
+        return false;
+      }
+      dropped = fstats.malformed;
+      return true;
+    }
+    obs::IngestStats istats;
+    if (!obs::load_trace_store(path, store, istats, error, jobs)) {
+      return false;
+    }
+    dropped = istats.malformed;
+    return true;
+  };
+
+  std::uint64_t last_size = ~0ull;
+  std::uint64_t frames = 0;
+  auto last_change = std::chrono::steady_clock::now();
+  bool loaded_once = false;
+  obs::EventStore final_store;
+  std::uint64_t final_dropped = 0;
+  for (;;) {
+    const std::uint64_t size = file_size_of(path);
+    if (size != last_size) {
+      last_size = size;
+      last_change = std::chrono::steady_clock::now();
+      obs::EventStore store;
+      std::string error;
+      if (!load(store, &error)) {
+        if (!loaded_once) {
+          std::cerr << path << ": " << error << '\n';
+          return kExitUsage;
+        }
+        // A reload can race a mid-rewrite flight dump; keep the last
+        // good frame and retry at the next poll.
+      } else {
+        loaded_once = true;
+        ++frames;
+        render_follow_frame(store, path, frames, dropped, plain);
+        final_store = std::move(store);
+        final_dropped = dropped;
+      }
+    }
+    if (once && loaded_once) break;
+    if (max_frames > 0 && frames >= max_frames) break;
+    if (idle_exit > 0.0 && loaded_once &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_change)
+                .count() >= idle_exit) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(refresh));
+  }
+
+  if (!check) return kExitOk;
+  const int result = run_check(final_store, flags);
+  if (result == kExitOk && final_dropped > 0) {
+    std::printf("FAIL: %llu record(s)/line(s) were dropped from the final "
+                "load — the clean verdict above covers only what parsed\n",
+                static_cast<unsigned long long>(final_dropped));
+    return kExitViolation;
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,11 +791,14 @@ int main(int argc, char** argv) {
                  "[--critical-path] [--blame[=<k>]] [--top=<k>] "
                  "[--export=perfetto] [--profile=<tsv>] [--out=<file>] "
                  "[--format=csv|json] [--limit=<n>] [--jobs=<n>] [--stats]\n"
+                 "       realtor_trace <file> --follow [--refresh=<s>] "
+                 "[--once] [--plain] [--idle-exit=<s>] [--max-frames=<n>] "
+                 "[--check]\n"
                  "--check options: --initial-interval --upper-limit "
                  "--interval-floor --alpha --beta --pledge-threshold "
                  "--tolerance\n"
                  "exit codes: 0 ok, 1 usage/unreadable input, "
-                 "2 gate violation\n";
+                 "2 gate violation (see README for the full contract)\n";
     return path.empty() ? kExitUsage : kExitOk;
   }
 
@@ -538,6 +809,23 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(std::max<std::int64_t>(flags.get_int("jobs", 0),
                                                    0));
   const bool want_stats = flags.get_bool("stats", false);
+
+  if (flags.get_bool("follow", false)) {
+    // --follow is a live viewer: it owns ingestion (reload-on-growth) and
+    // renders a dashboard, so the offline analysis modes cannot combine
+    // with it — only --check (as a post-follow gate) and the follow knobs.
+    for (const char* incompatible :
+         {"episodes", "intervals", "scorecard", "critical-path", "blame",
+          "export", "node", "kind", "format"}) {
+      if (flags.has(incompatible)) {
+        std::cerr << "--follow does not combine with --" << incompatible
+                  << " (follow renders the live dashboard; run the "
+                     "analysis mode on the finished file instead)\n";
+        return kExitUsage;
+      }
+    }
+    return run_follow(path, flags, jobs);
+  }
 
   obs::EventStore store;
   std::string error;
